@@ -1,0 +1,62 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench combines two ingredients (DESIGN.md "measurement vs modelling
+// split"): quantities *measured* from the real kernels running on this CPU
+// (neighbor counts, bond/quad statistics, CG iterations, index-space sums,
+// and wall-clock timings of real kernel code), and the architecture model
+// that maps workload descriptors to per-architecture predictions. Columns
+// are labelled "measured" or "modelled" accordingly.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "minilammps.hpp"
+#include "perfmodel/counters.hpp"
+#include "perfmodel/network.hpp"
+#include "perfmodel/report.hpp"
+#include "util/timer.hpp"
+
+namespace bench {
+
+using mlk::perf::PotentialStats;
+
+/// Measured stats, cached per process (measurement runs the real engine).
+inline const PotentialStats& lj_stats() {
+  static const PotentialStats s = mlk::perf::measure_lj_stats();
+  return s;
+}
+inline const PotentialStats& reaxff_stats() {
+  static const PotentialStats s = mlk::perf::measure_reaxff_stats();
+  return s;
+}
+inline const PotentialStats& snap_stats() {
+  static const PotentialStats s = mlk::perf::measure_snap_stats(8);
+  return s;
+}
+
+/// Atom-steps/s for a modelled per-step kernel sequence.
+inline double atom_steps_per_second(
+    const mlk::perf::GpuModel& gpu, mlk::bigint natoms,
+    const std::vector<mlk::perf::KernelWorkload>& ws) {
+  return double(natoms) / gpu.total_seconds(ws);
+}
+
+/// Wall-clock a callable (median of `reps`, after one warmup).
+inline double time_seconds(const std::function<void()>& fn, int reps = 3) {
+  fn();  // warmup
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    mlk::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Density (atoms per unit volume) of the standard benchmark systems.
+inline double lj_density() { return 0.8442; }
+inline double hns_density() { return 64.0 / (5.2 * 5.2 * 5.2); }  // atoms/A^3
+inline double bcc_density() { return 2.0 / (3.16 * 3.16 * 3.16); }
+
+}  // namespace bench

@@ -1,0 +1,52 @@
+// Reproduces Fig. 5: single GPU/GCD/stack performance for the three case
+// studies across hardware generations and vendors, normalized by the 36-core
+// Skylake CPU node running the base non-Kokkos code (LJ: 16M atoms,
+// ReaxFF: 465k, SNAP: 64k).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace mlk;
+using namespace mlk::perf;
+
+int main() {
+  const auto& lj = bench::lj_stats();
+  const auto& rx = bench::reaxff_stats();
+  const auto& sn = bench::snap_stats();
+
+  const bigint n_lj = 16000000, n_rx = 465000, n_sn = 64000;
+
+  banner("Single-GPU comparison across architectures, normalized to a "
+         "Skylake CPU node",
+         "Figure 5 (LJ 16M, ReaxFF 465k, SNAP 64k atoms)");
+
+  const GpuModel cpu(arch("CPU"));
+  const double cpu_lj = bench::atom_steps_per_second(cpu, n_lj, lj_workloads(n_lj, lj));
+  const double cpu_rx = bench::atom_steps_per_second(cpu, n_rx, reaxff_workloads(n_rx, rx));
+  const double cpu_sn = bench::atom_steps_per_second(cpu, n_sn, snap_workloads(n_sn, sn));
+
+  Table t({"GPU", "LJ speedup", "ReaxFF speedup", "SNAP speedup"});
+  for (const char* name :
+       {"V100", "A100", "H100", "GH200", "MI250X", "MI300A", "PVC"}) {
+    const GpuModel g(arch(name));
+    const double slj =
+        bench::atom_steps_per_second(g, n_lj, lj_workloads(n_lj, lj)) / cpu_lj;
+    const double srx =
+        bench::atom_steps_per_second(g, n_rx, reaxff_workloads(n_rx, rx)) /
+        cpu_rx;
+    const double ssn =
+        bench::atom_steps_per_second(g, n_sn, snap_workloads(n_sn, sn)) /
+        cpu_sn;
+    t.add_row({name, Table::num(slj, 1), Table::num(srx, 1),
+               Table::num(ssn, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nshape checks (paper section 5.1):\n"
+      "  * performance ordering follows hardware generation within vendors\n"
+      "  * V100 -> A100 jump exceeds raw BW/FLOP growth (L1+L2 capacity)\n"
+      "  * MI250X and PVC rows are a single GCD/stack (half the package)\n"
+      "  * NVIDIA parts outperform same-class peers beyond bandwidth ratios "
+      "(cache size + carveout flexibility)\n");
+  return 0;
+}

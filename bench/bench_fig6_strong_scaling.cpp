@@ -1,0 +1,87 @@
+// Reproduces Fig. 6: strong scaling of the three case studies across the
+// exascale machines (Frontier, Aurora, El Capitan) and Alps, up to 8192
+// nodes, for several global problem sizes.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+
+using namespace mlk;
+using namespace mlk::perf;
+
+namespace {
+
+struct Case {
+  const char* potential;
+  bigint global_atoms;
+  std::function<std::vector<KernelWorkload>(bigint)> workloads;
+  double density;     // atoms per A^3 (or sigma^3 for LJ)
+  double ghost_cut;   // halo thickness in the same length unit
+  double extra_halo_rounds = 0.0;  // QEq: one ghost exchange per CG iter
+  double allreduces = 1.0;         // QEq: two dot products per CG iter
+};
+
+void run_case(const Case& c) {
+  std::printf("\n--- %s, %lld atoms ---\n", c.potential,
+              (long long)c.global_atoms);
+  Table t({"nodes", "Frontier [steps/s]", "Aurora", "ElCapitan", "Alps",
+           "best atoms/GPU"});
+  for (int nodes : {8, 32, 128, 512, 2048, 8192}) {
+    std::vector<std::string> row = {std::to_string(nodes)};
+    double best_apg = 0;
+    for (const char* mname : {"Frontier", "Aurora", "ElCapitan", "Alps"}) {
+      const Machine& m = machine(mname);
+      if (nodes > m.max_nodes) {
+        row.push_back("-");
+        continue;
+      }
+      MachineModel model(m);
+      const auto pt =
+          model.step_time(c.global_atoms, nodes, c.workloads, c.density,
+                          c.ghost_cut, 48.0, c.extra_halo_rounds, c.allreduces);
+      row.push_back(Table::num(pt.steps_per_second, 1));
+      best_apg = pt.atoms_per_gpu;
+    }
+    row.push_back(Table::num(best_apg, 0));
+    t.add_row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  const auto& lj = bench::lj_stats();
+  const auto& rx = bench::reaxff_stats();
+  const auto& sn = bench::snap_stats();
+
+  banner("Strong scaling on exascale machines", "Figure 6");
+
+  // LJ: reduced units; density 0.8442 sigma^-3, halo = cutoff + skin.
+  for (bigint n : {bigint(16000000), bigint(512000000)})
+    run_case({"Lennard-Jones", n,
+              [&](bigint nl) { return lj_workloads(nl, lj); },
+              bench::lj_density(), 2.8});
+
+  // ReaxFF: HNS-like crystal (atoms/A^3), halo = nonbonded cutoff + skin.
+  for (bigint n : {bigint(465000), bigint(14880000)})
+    run_case({"ReaxFF", n, [&](bigint nl) { return reaxff_workloads(nl, rx); },
+              bench::hns_density(), 10.0, rx.qeq_iterations,
+              2.0 * rx.qeq_iterations + 1.0});
+
+  // SNAP: bcc W, halo = SNAP cutoff + skin.
+  for (bigint n : {bigint(64000), bigint(2048000), bigint(65536000)})
+    run_case({"SNAP", n, [&](bigint nl) { return snap_workloads(nl, sn); },
+              bench::bcc_density(), 6.7});
+
+  std::printf(
+      "\nshape checks (paper section 5.2):\n"
+      "  * LJ and SNAP approach ~1000 steps/s with enough nodes\n"
+      "  * SNAP scales deepest (low saturation point, high compute hides "
+      "launch/comm)\n"
+      "  * ReaxFF never exceeds ~100 steps/s on any machine (no saturation "
+      "plateau: any extra nodes reduce efficiency immediately)\n"
+      "  * machine ordering matches single-GPU ordering (Fig. 5), network "
+      "effects subleading\n");
+  return 0;
+}

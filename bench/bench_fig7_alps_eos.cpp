@@ -1,0 +1,65 @@
+// Reproduces Fig. 7 / Appendix C: Alps (GH200, 4 GPUs/node) vs Eos
+// (DGX H100 intentionally run with 4 GPUs + 4 NICs per node). The curves
+// should lie nearly on top of each other, with GH200 slightly ahead for
+// bandwidth-bound LJ at large per-GPU sizes and H100 slightly ahead in the
+// deep strong-scaling regime (GH200's higher launch latency).
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+
+using namespace mlk;
+using namespace mlk::perf;
+
+namespace {
+
+void run_case(const char* name, bigint global,
+              const std::function<std::vector<KernelWorkload>(bigint)>& w,
+              double density, double ghost_cut,
+              double extra_halo_rounds = 0.0, double allreduces = 1.0) {
+  std::printf("\n--- %s, %lld atoms ---\n", name, (long long)global);
+  Table t({"nodes", "atoms/GPU", "Alps GH200 [steps/s]", "Eos H100 [steps/s]",
+           "Alps/Eos"});
+  MachineModel alps(machine("Alps"));
+  MachineModel eos(machine("Eos"));
+  for (int nodes : {4, 16, 64, 256}) {
+    const auto a = alps.step_time(global, nodes, w, density, ghost_cut, 48.0,
+                                  extra_halo_rounds, allreduces);
+    const auto e = eos.step_time(global, nodes, w, density, ghost_cut, 48.0,
+                                 extra_halo_rounds, allreduces);
+    t.add_row({std::to_string(nodes), Table::num(a.atoms_per_gpu, 0),
+               Table::num(a.steps_per_second, 1),
+               Table::num(e.steps_per_second, 1),
+               Table::num(a.steps_per_second / e.steps_per_second, 3)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  const auto& lj = bench::lj_stats();
+  const auto& rx = bench::reaxff_stats();
+  const auto& sn = bench::snap_stats();
+
+  banner("Alps (GH200) vs Eos (H100, 4 GPUs/node)", "Figure 7 / Appendix C");
+
+  run_case("Lennard-Jones", 134217728,
+           [&](bigint nl) { return lj_workloads(nl, lj); },
+           bench::lj_density(), 2.8);
+  run_case("ReaxFF", 3720000,
+           [&](bigint nl) { return reaxff_workloads(nl, rx); },
+           bench::hns_density(), 10.0, rx.qeq_iterations,
+           2.0 * rx.qeq_iterations + 1.0);
+  run_case("SNAP", 2048000, [&](bigint nl) { return snap_workloads(nl, sn); },
+           bench::bcc_density(), 6.7);
+
+  std::printf(
+      "\nshape checks (Appendix C):\n"
+      "  * LJ: Alps > Eos at large atoms/GPU (20%% higher HBM/L2 bandwidth), "
+      "Eos >= Alps deep in strong scaling (lower launch latency)\n"
+      "  * ReaxFF: broadly similar; Eos ahead when latency-dominated\n"
+      "  * SNAP: curves nearly identical (FP64/L1-limited kernels are the "
+      "same on both parts; comm negligible)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 1: GPU architecture properties, plus derived balance
+// ratios the analysis sections lean on (FLOP/byte, cache per SM).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/archdb.hpp"
+
+int main() {
+  using namespace mlk::perf;
+  banner("GPU architecture properties", "Table 1");
+
+  Table t({"GPU", "BW [TB/s]", "Capacity [GB]", "FP64 [TF]", "L1 [kB]",
+           "Shared [kB]", "L2 [MB]", "SMs"});
+  for (const auto& a : arch_table()) {
+    if (a.name == "CPU") continue;
+    t.add_row({a.name, Table::num(a.hbm_bw / 1e12, 1),
+               Table::num(a.hbm_capacity / 1e9, 0), Table::num(a.fp64 / 1e12, 1),
+               a.unified_l1 ? "unified" : Table::num(a.l1_kb, 0),
+               a.unified_l1 ? Table::num(a.l1_total_kb(), 0)
+                            : Table::num(a.shared_kb, 0),
+               Table::num(a.l2_bytes / 1e6, 0), Table::num(a.num_sm, 0)});
+  }
+  t.print();
+
+  std::printf("\nDerived machine balance (not in the paper's table, used by the model):\n");
+  Table b({"GPU", "FLOP/byte", "L1+sh/SM [kB]", "atomics [Gops/s]",
+           "launch [us]"});
+  for (const auto& a : arch_table()) {
+    if (a.name == "CPU") continue;
+    b.add_row({a.name, Table::num(a.fp64 / a.hbm_bw, 1),
+               Table::num(a.l1_total_kb(), 0),
+               Table::num(a.atomic_rate / 1e9, 0),
+               Table::num(a.launch_latency * 1e6, 0)});
+  }
+  b.print();
+  return 0;
+}

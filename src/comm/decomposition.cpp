@@ -1,0 +1,67 @@
+#include "comm/decomposition.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+std::array<int, 3> factor_grid(int nranks, double lx, double ly, double lz) {
+  require(nranks >= 1, "factor_grid: nranks must be >= 1");
+  std::array<int, 3> best = {nranks, 1, 1};
+  double best_surf = std::numeric_limits<double>::max();
+  for (int nx = 1; nx <= nranks; ++nx) {
+    if (nranks % nx) continue;
+    const int rem = nranks / nx;
+    for (int ny = 1; ny <= rem; ++ny) {
+      if (rem % ny) continue;
+      const int nz = rem / ny;
+      const double sx = lx / nx, sy = ly / ny, sz = lz / nz;
+      const double surf = sx * sy + sy * sz + sx * sz;
+      if (surf < best_surf) {
+        best_surf = surf;
+        best = {nx, ny, nz};
+      }
+    }
+  }
+  return best;
+}
+
+ProcGrid make_grid(int rank, int nranks, double lx, double ly, double lz) {
+  require(rank >= 0 && rank < nranks, "make_grid: bad rank");
+  ProcGrid g;
+  g.rank = rank;
+  g.nranks = nranks;
+  const auto np = factor_grid(nranks, lx, ly, lz);
+  for (int d = 0; d < 3; ++d) g.np[d] = np[std::size_t(d)];
+  // Row-major rank layout: rank = (ix * npy + iy) * npz + iz.
+  g.coord[2] = rank % g.np[2];
+  g.coord[1] = (rank / g.np[2]) % g.np[1];
+  g.coord[0] = rank / (g.np[1] * g.np[2]);
+  for (int d = 0; d < 3; ++d) {
+    int lo[3] = {g.coord[0], g.coord[1], g.coord[2]};
+    int hi[3] = {g.coord[0], g.coord[1], g.coord[2]};
+    lo[d] = (g.coord[d] - 1 + g.np[d]) % g.np[d];
+    hi[d] = (g.coord[d] + 1) % g.np[d];
+    g.neighbor_lo[d] = grid_rank(g, lo[0], lo[1], lo[2]);
+    g.neighbor_hi[d] = grid_rank(g, hi[0], hi[1], hi[2]);
+  }
+  return g;
+}
+
+int grid_rank(const ProcGrid& g, int ix, int iy, int iz) {
+  ix = (ix + g.np[0]) % g.np[0];
+  iy = (iy + g.np[1]) % g.np[1];
+  iz = (iz + g.np[2]) % g.np[2];
+  return (ix * g.np[1] + iy) * g.np[2] + iz;
+}
+
+void subbox_bounds(const ProcGrid& g, int d, double lo, double hi,
+                   double* sublo, double* subhi) {
+  const double span = hi - lo;
+  *sublo = lo + span * double(g.coord[d]) / double(g.np[d]);
+  *subhi = lo + span * double(g.coord[d] + 1) / double(g.np[d]);
+}
+
+}  // namespace mlk

@@ -1,0 +1,35 @@
+// Spatial domain decomposition: factor P ranks into a 3-D processor grid
+// minimizing communication surface (LAMMPS's default brick decomposition),
+// and map each rank to a sub-box plus its 6 face-neighbor ranks.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace mlk {
+
+struct ProcGrid {
+  int np[3] = {1, 1, 1};          // ranks per dimension
+  int coord[3] = {0, 0, 0};       // this rank's grid coordinates
+  int neighbor_lo[3] = {0, 0, 0}; // rank of -x/-y/-z face neighbor (periodic)
+  int neighbor_hi[3] = {0, 0, 0}; // rank of +x/+y/+z face neighbor (periodic)
+  int rank = 0;
+  int nranks = 1;
+};
+
+/// Choose np[0..2] with np0*np1*np2 == nranks minimizing the total surface
+/// area of sub-boxes for a box of extents (lx, ly, lz).
+std::array<int, 3> factor_grid(int nranks, double lx, double ly, double lz);
+
+/// Build the full grid info for `rank` of `nranks` over box extents.
+ProcGrid make_grid(int rank, int nranks, double lx, double ly, double lz);
+
+/// Rank owning grid coordinates (ix,iy,iz) with periodic wrap.
+int grid_rank(const ProcGrid& g, int ix, int iy, int iz);
+
+/// Sub-box bounds of this rank along dimension d within [lo, hi).
+void subbox_bounds(const ProcGrid& g, int d, double lo, double hi,
+                   double* sublo, double* subhi);
+
+}  // namespace mlk

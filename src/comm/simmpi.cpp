@@ -1,0 +1,126 @@
+#include "comm/simmpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace simmpi {
+
+World::World(int nranks) : nranks_(nranks) {
+  mlk::require(nranks >= 1, "simmpi world needs >= 1 rank");
+  mailboxes_.reserve(std::size_t(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  reduce_slots_.resize(std::size_t(nranks));
+}
+
+void World::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors{std::size_t(nranks_)};
+  threads.reserve(std::size_t(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[std::size_t(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void Comm::send_raw(int dest, int tag, std::vector<char> payload) {
+  mlk::require(dest >= 0 && dest < size(), "simmpi: bad destination rank");
+  auto& box = *world_.mailboxes_[std::size_t(dest)];
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.queues[rank_].push_back({tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<char> Comm::recv_raw(int src, int tag) {
+  mlk::require(src >= 0 && src < size(), "simmpi: bad source rank");
+  auto& box = *world_.mailboxes_[std::size_t(rank_)];
+  std::unique_lock<std::mutex> lk(box.mu);
+  for (;;) {
+    auto& q = box.queues[src];
+    auto it = std::find_if(q.begin(), q.end(),
+                           [tag](const World::Message& m) { return m.tag == tag; });
+    if (it != q.end()) {
+      std::vector<char> payload = std::move(it->payload);
+      q.erase(it);
+      return payload;
+    }
+    box.cv.wait(lk);
+  }
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lk(world_.bar_mu_);
+  const bool sense = world_.bar_sense_;
+  if (++world_.bar_count_ == world_.nranks_) {
+    world_.bar_count_ = 0;
+    world_.bar_sense_ = !sense;
+    world_.bar_cv_.notify_all();
+  } else {
+    world_.bar_cv_.wait(lk, [&] { return world_.bar_sense_ != sense; });
+  }
+}
+
+template <class T, class Op>
+T Comm::allreduce_impl(T v, Op op) {
+  auto& slot = world_.reduce_slots_[std::size_t(rank_)];
+  slot.resize(sizeof(T));
+  std::memcpy(slot.data(), &v, sizeof(T));
+  barrier();  // all contributions posted
+  T acc = v;
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    T other;
+    std::memcpy(&other, world_.reduce_slots_[std::size_t(r)].data(), sizeof(T));
+    acc = op(acc, other);
+  }
+  barrier();  // all ranks done reading before slots can be reused
+  return acc;
+}
+
+double Comm::allreduce_sum(double v) {
+  return allreduce_impl(v, [](double a, double b) { return a + b; });
+}
+
+mlk::bigint Comm::allreduce_sum(mlk::bigint v) {
+  return allreduce_impl(v, [](mlk::bigint a, mlk::bigint b) { return a + b; });
+}
+
+double Comm::allreduce_max(double v) {
+  return allreduce_impl(v, [](double a, double b) { return a > b ? a : b; });
+}
+
+double Comm::allreduce_min(double v) {
+  return allreduce_impl(v, [](double a, double b) { return a < b ? a : b; });
+}
+
+std::vector<double> Comm::allreduce_sum(const std::vector<double>& v) {
+  auto& slot = world_.reduce_slots_[std::size_t(rank_)];
+  slot.resize(v.size() * sizeof(double));
+  if (!v.empty()) std::memcpy(slot.data(), v.data(), slot.size());
+  barrier();
+  std::vector<double> acc = v;
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    const auto& other = world_.reduce_slots_[std::size_t(r)];
+    mlk::require(other.size() == slot.size(),
+                 "simmpi: allreduce vector length mismatch");
+    const double* p = reinterpret_cast<const double*>(other.data());
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += p[i];
+  }
+  barrier();
+  return acc;
+}
+
+}  // namespace simmpi

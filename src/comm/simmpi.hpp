@@ -1,0 +1,128 @@
+// simmpi — an in-process message-passing substrate standing in for MPI.
+//
+// The paper's multi-node runs use MPI domain decomposition (one rank per
+// GPU/GCD/stack). No network exists in this environment, so simmpi runs each
+// rank as a thread inside one process with mailbox-based point-to-point
+// messaging, barriers, and allreduce — enough to drive the *same* pack /
+// exchange / border / forward / reverse communication code paths LAMMPS runs
+// over a fabric, with testable correctness.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simmpi {
+
+class Comm;
+
+/// A communicator "world" of nranks. Construct, then run(main) which spawns
+/// one thread per rank executing main(comm).
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Execute `rank_main` on every rank concurrently; rethrows the first
+  /// rank's exception (if any) after all ranks have finished.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int tag;
+    std::vector<char> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // keyed by source rank; FIFO per (src); tag matched at receive.
+    std::map<int, std::deque<Message>> queues;
+  };
+
+  // Sense-reversing barrier state.
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  bool bar_sense_ = false;
+
+  // Allreduce scratch (one slot per rank, double-buffered by barrier).
+  std::vector<std::vector<char>> reduce_slots_;
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Per-rank handle. All operations are blocking (MPI_Send semantics with
+/// infinite buffering; MPI_Recv blocks until a matching message arrives).
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_.nranks_; }
+
+  /// Typed vector send/recv for trivially copyable T.
+  template <class T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<char> payload(data.size() * sizeof(T));
+    if (!data.empty())
+      std::memcpy(payload.data(), data.data(), payload.size());
+    send_raw(dest, tag, std::move(payload));
+  }
+
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<char> payload = recv_raw(src, tag);
+    mlk::require(payload.size() % sizeof(T) == 0,
+                 "simmpi: message size not a multiple of element size");
+    std::vector<T> out(payload.size() / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), payload.data(), payload.size());
+    return out;
+  }
+
+  /// Paired exchange: send to `dest`, receive from `src` (sendrecv pattern
+  /// used by the 6-direction halo exchange).
+  template <class T>
+  std::vector<T> sendrecv(int dest, int src, int tag,
+                          const std::vector<T>& data) {
+    send(dest, tag, data);
+    return recv<T>(src, tag);
+  }
+
+  void barrier();
+
+  double allreduce_sum(double v);
+  mlk::bigint allreduce_sum(mlk::bigint v);
+  double allreduce_max(double v);
+  double allreduce_min(double v);
+
+  /// Element-wise sum allreduce of a vector (same length on all ranks).
+  std::vector<double> allreduce_sum(const std::vector<double>& v);
+
+ private:
+  void send_raw(int dest, int tag, std::vector<char> payload);
+  std::vector<char> recv_raw(int src, int tag);
+
+  template <class T, class Op>
+  T allreduce_impl(T v, Op op);
+
+  World& world_;
+  int rank_;
+};
+
+}  // namespace simmpi

@@ -1,0 +1,56 @@
+#include "engine/atom_vec_kokkos.hpp"
+
+#include "kokkos/core.hpp"
+
+namespace mlk {
+
+kk::View1D<double, kk::Device> AtomVecKokkos::pack_positions_device(
+    Atom& atom, const kk::View1D<int, kk::Device>& sendlist, int dim,
+    double shift) {
+  atom.sync<kk::Device>(X_MASK);
+  auto x = atom.k_x.d_view;
+  const std::size_t n = sendlist.extent(0);
+  kk::View1D<double, kk::Device> buf("commbuf", n * 3);
+  kk::parallel_for("AtomVecKokkos::pack_positions",
+                   kk::RangePolicy<kk::Device>(0, n), [=](std::size_t k) {
+                     const std::size_t i = std::size_t(sendlist(k));
+                     for (std::size_t d = 0; d < 3; ++d) {
+                       double v = x(i, d);
+                       if (int(d) == dim) v += shift;
+                       buf(k * 3 + d) = v;
+                     }
+                   });
+  return buf;
+}
+
+void AtomVecKokkos::unpack_positions_device(
+    Atom& atom, const kk::View1D<double, kk::Device>& buf, localint first) {
+  atom.sync<kk::Device>(X_MASK);
+  auto x = atom.k_x.d_view;
+  const std::size_t n = buf.extent(0) / 3;
+  kk::parallel_for("AtomVecKokkos::unpack_positions",
+                   kk::RangePolicy<kk::Device>(0, n), [=](std::size_t k) {
+                     const std::size_t i = std::size_t(first) + k;
+                     for (std::size_t d = 0; d < 3; ++d)
+                       x(i, d) = buf(k * 3 + d);
+                   });
+  atom.modified<kk::Device>(X_MASK);
+}
+
+std::vector<double> AtomVecKokkos::pack_positions_host(
+    const Atom& atom, const std::vector<localint>& sendlist, int dim,
+    double shift) {
+  const auto x = atom.k_x.h_view;
+  std::vector<double> buf;
+  buf.reserve(sendlist.size() * 3);
+  for (localint i : sendlist) {
+    for (int d = 0; d < 3; ++d) {
+      double v = x(std::size_t(i), std::size_t(d));
+      if (d == dim) v += shift;
+      buf.push_back(v);
+    }
+  }
+  return buf;
+}
+
+}  // namespace mlk

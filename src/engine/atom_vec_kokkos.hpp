@@ -1,0 +1,33 @@
+// Device-side communication buffer pack/unpack kernels (§3.3): depending on
+// problem size and hardware it can be better to pack halo buffers on the
+// device rather than the host. These helpers implement the device path;
+// CommBrick implements the host path. Tests verify both produce identical
+// buffers; the ablation bench compares modelled costs.
+#pragma once
+
+#include <vector>
+
+#include "engine/atom.hpp"
+#include "kokkos/view.hpp"
+
+namespace mlk {
+
+class AtomVecKokkos {
+ public:
+  /// Pack positions of `sendlist` (device view) into a flat device buffer,
+  /// applying `shift` to dimension `dim`. Runs on Device.
+  static kk::View1D<double, kk::Device> pack_positions_device(
+      Atom& atom, const kk::View1D<int, kk::Device>& sendlist, int dim,
+      double shift);
+
+  /// Unpack a flat device buffer into ghost slots [first, first+count).
+  static void unpack_positions_device(
+      Atom& atom, const kk::View1D<double, kk::Device>& buf, localint first);
+
+  /// Host reference implementations (for round-trip tests).
+  static std::vector<double> pack_positions_host(
+      const Atom& atom, const std::vector<localint>& sendlist, int dim,
+      double shift);
+};
+
+}  // namespace mlk

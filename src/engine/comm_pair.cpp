@@ -1,0 +1,311 @@
+#include "engine/comm_pair.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+namespace {
+// Per-atom border record: x(3), type, tag, q.
+constexpr int kBorderDoubles = 6;
+
+void pack_border(const Atom& atom, localint i, int dim, double shift,
+                 std::vector<double>& buf) {
+  const auto x = atom.k_x.h_view;
+  double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                  x(std::size_t(i), 2)};
+  xi[dim] += shift;
+  buf.push_back(xi[0]);
+  buf.push_back(xi[1]);
+  buf.push_back(xi[2]);
+  buf.push_back(double(atom.k_type.h_view(std::size_t(i))));
+  buf.push_back(double(atom.k_tag.h_view(std::size_t(i))));
+  buf.push_back(atom.k_q.h_view(std::size_t(i)));
+}
+
+localint unpack_border(Atom& atom, const std::vector<double>& buf) {
+  const localint count = localint(buf.size() / kBorderDoubles);
+  atom.grow(atom.nall() + count);
+  auto x = atom.k_x.h_view;
+  for (localint k = 0; k < count; ++k) {
+    const std::size_t i = std::size_t(atom.nall());
+    const double* r = buf.data() + std::size_t(k) * kBorderDoubles;
+    x(i, 0) = r[0];
+    x(i, 1) = r[1];
+    x(i, 2) = r[2];
+    atom.k_type.h_view(i) = int(r[3]);
+    atom.k_tag.h_view(i) = tagint(r[4]);
+    atom.k_q.h_view(i) = r[5];
+    atom.nghost++;
+  }
+  return count;
+}
+}  // namespace
+
+void CommBrick::setup(const Domain& domain) const {
+  require(cutghost > 0.0, "CommBrick: cutghost not set");
+  for (int d = 0; d < 3; ++d) {
+    const double sub = domain.subhi[d] - domain.sublo[d];
+    require(sub >= cutghost,
+            "CommBrick: sub-domain thinner than ghost cutoff; use fewer ranks "
+            "or a bigger box");
+  }
+}
+
+void CommBrick::do_border_swap(Atom& atom, const Domain& domain, int dim,
+                               bool lo, localint scan_limit) {
+  Swap sw;
+  sw.dim = dim;
+  sw.lo = lo;
+
+  const auto& g = domain.grid();
+  const bool serial = (mpi == nullptr);
+  const int np = serial ? 1 : g.np[dim];
+  sw.sendrank = serial ? 0 : (lo ? g.neighbor_lo[dim] : g.neighbor_hi[dim]);
+  // Messages we receive in this swap come from the opposite neighbor.
+  sw.recvrank = serial ? 0 : (lo ? g.neighbor_hi[dim] : g.neighbor_lo[dim]);
+
+  // Periodic shift: if this brick touches the boundary it is sending across,
+  // shift coordinates into the receiver's frame.
+  const bool at_lo_edge = serial || g.coord[dim] == 0;
+  const bool at_hi_edge = serial || g.coord[dim] == np - 1;
+  if (lo && at_lo_edge) sw.shift = domain.prd(dim);
+  if (!lo && at_hi_edge) sw.shift = -domain.prd(dim);
+
+  // Skip swaps across non-periodic boundaries.
+  const bool crosses_boundary = lo ? at_lo_edge : at_hi_edge;
+  if (crosses_boundary && !domain.periodic[dim] && np == 1) {
+    swaps_.push_back(sw);
+    return;
+  }
+
+  // Select atoms (owned + previously received ghosts) near the face.
+  const auto x = atom.k_x.h_view;
+  const double cut_lo = domain.sublo[dim] + cutghost;
+  const double cut_hi = domain.subhi[dim] - cutghost;
+  std::vector<double> buf;
+  for (localint i = 0; i < scan_limit; ++i) {
+    const double xd = x(std::size_t(i), std::size_t(dim));
+    const bool send = lo ? (xd < cut_lo) : (xd >= cut_hi);
+    if (send) {
+      sw.sendlist.push_back(i);
+      pack_border(atom, i, dim, sw.shift, buf);
+    }
+  }
+
+  std::vector<double> incoming;
+  if (serial || (sw.sendrank == g.rank && sw.recvrank == g.rank)) {
+    incoming = std::move(buf);
+  } else {
+    incoming = mpi->sendrecv(sw.sendrank, sw.recvrank, 100 + tag_seq_, buf);
+  }
+  ++tag_seq_;
+
+  sw.recv_start = atom.nall();
+  sw.recv_count = unpack_border(atom, incoming);
+  swaps_.push_back(sw);
+}
+
+void CommBrick::borders(Atom& atom, const Domain& domain) {
+  atom.sync<kk::Host>(X_MASK | TYPE_MASK | TAG_MASK | Q_MASK);
+  atom.clear_ghosts();
+  swaps_.clear();
+  tag_seq_ = 0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const localint scan_limit = atom.nall();
+    do_border_swap(atom, domain, dim, /*lo=*/true, scan_limit);
+    do_border_swap(atom, domain, dim, /*lo=*/false, scan_limit);
+  }
+  nghost_ = atom.nghost;
+  atom.modified<kk::Host>(X_MASK | TYPE_MASK | TAG_MASK | Q_MASK);
+}
+
+void CommBrick::forward_positions(Atom& atom) {
+  atom.sync<kk::Host>(X_MASK);
+  auto x = atom.k_x.h_view;
+  int tag = 1000;
+  const bool serial = (mpi == nullptr);
+  for (const auto& sw : swaps_) {
+    std::vector<double> buf;
+    buf.reserve(sw.sendlist.size() * 3);
+    for (localint i : sw.sendlist) {
+      double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                      x(std::size_t(i), 2)};
+      xi[sw.dim] += sw.shift;
+      buf.push_back(xi[0]);
+      buf.push_back(xi[1]);
+      buf.push_back(xi[2]);
+    }
+    std::vector<double> in;
+    if (serial || (sw.sendrank == sw.recvrank && mpi->rank() == sw.sendrank)) {
+      in = std::move(buf);
+    } else {
+      in = mpi->sendrecv(sw.sendrank, sw.recvrank, tag, buf);
+    }
+    ++tag;
+    require(localint(in.size() / 3) == sw.recv_count,
+            "forward_positions: ghost count changed since borders()");
+    for (localint k = 0; k < sw.recv_count; ++k) {
+      const std::size_t g = std::size_t(sw.recv_start + k);
+      x(g, 0) = in[std::size_t(k) * 3 + 0];
+      x(g, 1) = in[std::size_t(k) * 3 + 1];
+      x(g, 2) = in[std::size_t(k) * 3 + 2];
+    }
+  }
+  atom.modified<kk::Host>(X_MASK);
+}
+
+void CommBrick::forward_charges(Atom& atom) {
+  forward_scalar(atom.k_q);
+}
+
+void CommBrick::forward_scalar(kk::DualView<double, 1>& field) {
+  field.sync<kk::Host>();
+  auto q = field.h_view;
+  int tag = 3000;
+  const bool serial = (mpi == nullptr);
+  for (const auto& sw : swaps_) {
+    std::vector<double> buf;
+    buf.reserve(sw.sendlist.size());
+    for (localint i : sw.sendlist) buf.push_back(q(std::size_t(i)));
+    std::vector<double> in;
+    if (serial || (sw.sendrank == sw.recvrank && mpi->rank() == sw.sendrank)) {
+      in = std::move(buf);
+    } else {
+      in = mpi->sendrecv(sw.sendrank, sw.recvrank, tag, buf);
+    }
+    ++tag;
+    for (localint k = 0; k < sw.recv_count; ++k)
+      q(std::size_t(sw.recv_start + k)) = in[std::size_t(k)];
+  }
+  field.modify<kk::Host>();
+}
+
+void CommBrick::reverse_forces(Atom& atom) {
+  atom.sync<kk::Host>(F_MASK);
+  auto f = atom.k_f.h_view;
+  int tag = 2000 + int(swaps_.size());
+  const bool serial = (mpi == nullptr);
+  // Reverse order: later-dimension ghosts fold into earlier-dimension ghosts
+  // before those fold into owned atoms.
+  for (auto it = swaps_.rbegin(); it != swaps_.rend(); ++it) {
+    const auto& sw = *it;
+    --tag;
+    std::vector<double> buf;
+    buf.reserve(std::size_t(sw.recv_count) * 3);
+    for (localint k = 0; k < sw.recv_count; ++k) {
+      const std::size_t g = std::size_t(sw.recv_start + k);
+      buf.push_back(f(g, 0));
+      buf.push_back(f(g, 1));
+      buf.push_back(f(g, 2));
+    }
+    std::vector<double> in;
+    if (serial || (sw.sendrank == sw.recvrank && mpi->rank() == sw.sendrank)) {
+      in = std::move(buf);
+    } else {
+      // Reverse path: ghosts travel back to the rank we received from.
+      in = mpi->sendrecv(sw.recvrank, sw.sendrank, tag, buf);
+    }
+    require(in.size() == sw.sendlist.size() * 3,
+            "reverse_forces: buffer size mismatch");
+    for (std::size_t k = 0; k < sw.sendlist.size(); ++k) {
+      const std::size_t i = std::size_t(sw.sendlist[k]);
+      f(i, 0) += in[k * 3 + 0];
+      f(i, 1) += in[k * 3 + 1];
+      f(i, 2) += in[k * 3 + 2];
+    }
+  }
+  atom.modified<kk::Host>(F_MASK);
+}
+
+void CommBrick::exchange(Atom& atom, const Domain& domain) {
+  atom.sync<kk::Host>(X_MASK | V_MASK | TYPE_MASK | TAG_MASK | Q_MASK);
+  require(atom.nghost == 0, "exchange: clear ghosts before exchanging");
+  auto x = atom.k_x.h_view;
+
+  // Remap everyone into the primary periodic box first.
+  for (localint i = 0; i < atom.nlocal; ++i) {
+    double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                    x(std::size_t(i), 2)};
+    domain.remap(xi);
+    for (int d = 0; d < 3; ++d) x(std::size_t(i), std::size_t(d)) = xi[d];
+  }
+  atom.modified<kk::Host>(X_MASK);
+  if (mpi == nullptr) return;  // serial: remap is all that's needed
+
+  const auto& g = domain.grid();
+  constexpr int kExchDoubles = 9;  // x3 v3 type tag q
+  auto pack_atom = [&](localint i, std::vector<double>& buf) {
+    const auto v = atom.k_v.h_view;
+    for (int d = 0; d < 3; ++d) buf.push_back(x(std::size_t(i), std::size_t(d)));
+    for (int d = 0; d < 3; ++d) buf.push_back(v(std::size_t(i), std::size_t(d)));
+    buf.push_back(double(atom.k_type.h_view(std::size_t(i))));
+    buf.push_back(double(atom.k_tag.h_view(std::size_t(i))));
+    buf.push_back(atom.k_q.h_view(std::size_t(i)));
+  };
+  auto remove_atom = [&](localint i) {
+    const localint last = atom.nlocal - 1;
+    if (i != last) {
+      auto v = atom.k_v.h_view;
+      for (int d = 0; d < 3; ++d) {
+        x(std::size_t(i), std::size_t(d)) = x(std::size_t(last), std::size_t(d));
+        v(std::size_t(i), std::size_t(d)) = v(std::size_t(last), std::size_t(d));
+      }
+      atom.k_type.h_view(std::size_t(i)) = atom.k_type.h_view(std::size_t(last));
+      atom.k_tag.h_view(std::size_t(i)) = atom.k_tag.h_view(std::size_t(last));
+      atom.k_q.h_view(std::size_t(i)) = atom.k_q.h_view(std::size_t(last));
+    }
+    atom.nlocal--;
+  };
+  auto add_atom_record = [&](const double* r) {
+    atom.grow(atom.nlocal + 1);
+    x = atom.k_x.h_view;  // may have been reallocated
+    auto v = atom.k_v.h_view;
+    const std::size_t i = std::size_t(atom.nlocal);
+    for (int d = 0; d < 3; ++d) x(i, std::size_t(d)) = r[d];
+    for (int d = 0; d < 3; ++d) v(i, std::size_t(d)) = r[3 + d];
+    atom.k_type.h_view(i) = int(r[6]);
+    atom.k_tag.h_view(i) = tagint(r[7]);
+    atom.k_q.h_view(i) = r[8];
+    atom.nlocal++;
+  };
+
+  int tag = 5000;
+  for (int dim = 0; dim < 3; ++dim) {
+    if (g.np[dim] == 1) continue;
+    std::vector<double> send_lo, send_hi;
+    for (localint i = 0; i < atom.nlocal; /*increment inside*/) {
+      const double xd = x(std::size_t(i), std::size_t(dim));
+      if (xd < domain.sublo[dim]) {
+        pack_atom(i, send_lo);
+        remove_atom(i);
+      } else if (xd >= domain.subhi[dim]) {
+        pack_atom(i, send_hi);
+        remove_atom(i);
+      } else {
+        ++i;
+      }
+    }
+    auto in_from_hi =
+        mpi->sendrecv(g.neighbor_lo[dim], g.neighbor_hi[dim], tag, send_lo);
+    ++tag;
+    auto in_from_lo =
+        mpi->sendrecv(g.neighbor_hi[dim], g.neighbor_lo[dim], tag, send_hi);
+    ++tag;
+    for (const auto* in : {&in_from_hi, &in_from_lo}) {
+      require(in->size() % kExchDoubles == 0, "exchange: bad message size");
+      for (std::size_t k = 0; k < in->size(); k += kExchDoubles)
+        add_atom_record(in->data() + k);
+    }
+  }
+  atom.modified<kk::Host>(X_MASK | V_MASK | TYPE_MASK | TAG_MASK | Q_MASK);
+}
+
+bigint CommBrick::forward_doubles_per_step() const {
+  bigint n = 0;
+  for (const auto& sw : swaps_) n += bigint(sw.sendlist.size()) * 3;
+  return n;
+}
+
+}  // namespace mlk

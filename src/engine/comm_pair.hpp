@@ -1,0 +1,81 @@
+// CommBrick — LAMMPS-style 6-swap brick communication.
+//
+// Works in two modes through the same code path:
+//  * serial (mpi == nullptr): every swap is a self-exchange, producing
+//    periodic-image ghost atoms;
+//  * simmpi (mpi != nullptr): swaps are sendrecv pairs with the face
+//    neighbors of this rank's brick, exactly the MPI pattern of the paper's
+//    multi-node runs (packing, exchanging, unpacking, with pbc shifts
+//    applied at the boundary bricks).
+//
+// Swaps are processed dimension by dimension (x, then y, then z), with
+// atoms received in earlier dimensions eligible for later dimensions, which
+// populates edge and corner ghost regions without diagonal messages.
+#pragma once
+
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "engine/atom.hpp"
+#include "engine/domain.hpp"
+
+namespace mlk {
+
+class CommBrick {
+ public:
+  simmpi::Comm* mpi = nullptr;  // not owned; null = serial
+  double cutghost = 0.0;
+
+  /// Validate decomposition against the ghost cutoff.
+  void setup(const Domain& domain) const;
+
+  /// Build ghost atoms and record the swap plan used by forward/reverse.
+  void borders(Atom& atom, const Domain& domain);
+
+  /// Update ghost positions from owners (every timestep between rebuilds).
+  void forward_positions(Atom& atom);
+
+  /// Update ghost charges from owners (QEq outer loop).
+  void forward_charges(Atom& atom);
+
+  /// Update ghost copies of an arbitrary per-atom scalar field from owners —
+  /// the mid-evaluation communication EAM's embedding derivative needs
+  /// (paper Fig. 1). `field` must have extent >= atom.nall().
+  void forward_scalar(kk::DualView<double, 1>& field);
+
+  /// Fold ghost forces back onto owners — required by half lists with
+  /// newton on. Processes swaps in reverse order.
+  void reverse_forces(Atom& atom);
+
+  /// Migrate owned atoms whose positions left this rank's sub-box.
+  /// Call after integration, before borders, on rebuild steps.
+  void exchange(Atom& atom, const Domain& domain);
+
+  // --- statistics (consumed by the perf/network model) ---
+  localint nghost() const { return nghost_; }
+  bigint forward_doubles_per_step() const;  // payload volume of one fwd pass
+
+ private:
+  struct Swap {
+    int dim = 0;
+    bool lo = false;              // sending toward the lo face neighbor
+    std::vector<localint> sendlist;
+    double shift = 0.0;           // pbc shift applied to dim coordinate
+    localint recv_start = 0;
+    localint recv_count = 0;
+    int sendrank = -1;
+    int recvrank = -1;
+  };
+
+  std::vector<Swap> swaps_;
+  localint nghost_ = 0;
+  int tag_seq_ = 0;
+
+  /// `scan_limit`: only atoms with index < scan_limit are eligible to send —
+  /// owned atoms plus ghosts received in *earlier* dimensions (prevents the
+  /// hi swap from re-sending the lo swap's fresh ghosts).
+  void do_border_swap(Atom& atom, const Domain& domain, int dim, bool lo,
+                      localint scan_limit);
+};
+
+}  // namespace mlk

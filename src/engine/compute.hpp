@@ -1,0 +1,19 @@
+// Compute style base class (§2.2): read-only diagnostics exposed to the
+// input script (never modify the system state).
+#pragma once
+
+#include <string>
+
+namespace mlk {
+
+class Simulation;
+
+class Compute {
+ public:
+  virtual ~Compute() = default;
+  virtual double compute_scalar(Simulation& sim) = 0;
+  std::string id;
+  std::string style_name;
+};
+
+}  // namespace mlk

@@ -1,0 +1,18 @@
+// compute pressure — virial pressure diagnostic.
+#include "engine/compute.hpp"
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+
+namespace mlk {
+
+class ComputePressure : public Compute {
+ public:
+  double compute_scalar(Simulation& sim) override { return sim.pressure(); }
+};
+
+void register_compute_pressure() {
+  StyleRegistry::instance().add_compute(
+      "pressure", [] { return std::make_unique<ComputePressure>(); });
+}
+
+}  // namespace mlk

@@ -1,0 +1,36 @@
+// compute rdf — radial distribution function g(r), the standard structural
+// diagnostic (LAMMPS `compute rdf`). Histogram over the current full/half
+// neighbor list extended by a direct pair sweep within rcut.
+#pragma once
+
+#include <vector>
+
+#include "engine/compute.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+class ComputeRDF : public Compute {
+ public:
+  explicit ComputeRDF(int nbins = 100, double rcut = 0.0)
+      : nbins_(nbins), rcut_(rcut) {}
+
+  /// Returns the height of the first peak of g(r) (scalar interface).
+  double compute_scalar(Simulation& sim) override;
+
+  /// Full histogram: evaluate then read bins.
+  const std::vector<double>& gr() const { return gr_; }
+  const std::vector<double>& r_centers() const { return r_; }
+  void evaluate(Simulation& sim);
+
+ private:
+  int nbins_;
+  double rcut_;
+  std::vector<double> gr_, r_;
+};
+
+void register_compute_rdf();
+
+}  // namespace mlk

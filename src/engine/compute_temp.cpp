@@ -1,0 +1,34 @@
+// compute temp / compute pe — scalar diagnostics exposed to input scripts.
+#include "engine/compute.hpp"
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+
+namespace mlk {
+
+class ComputeTemp : public Compute {
+ public:
+  double compute_scalar(Simulation& sim) override { return sim.temperature(); }
+};
+
+class ComputePE : public Compute {
+ public:
+  double compute_scalar(Simulation& sim) override {
+    return sim.potential_energy();
+  }
+};
+
+class ComputeKE : public Compute {
+ public:
+  double compute_scalar(Simulation& sim) override {
+    return sim.kinetic_energy();
+  }
+};
+
+void register_compute_temp() {
+  auto& reg = StyleRegistry::instance();
+  reg.add_compute("temp", [] { return std::make_unique<ComputeTemp>(); });
+  reg.add_compute("pe", [] { return std::make_unique<ComputePE>(); });
+  reg.add_compute("ke", [] { return std::make_unique<ComputeKE>(); });
+}
+
+}  // namespace mlk

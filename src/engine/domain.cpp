@@ -1,0 +1,57 @@
+#include "engine/domain.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+void Domain::set_box(double xlo, double xhi, double ylo, double yhi,
+                     double zlo, double zhi) {
+  require(xhi > xlo && yhi > ylo && zhi > zlo, "box bounds must be ordered");
+  boxlo[0] = xlo;
+  boxlo[1] = ylo;
+  boxlo[2] = zlo;
+  boxhi[0] = xhi;
+  boxhi[1] = yhi;
+  boxhi[2] = zhi;
+  for (int d = 0; d < 3; ++d) {
+    sublo[d] = boxlo[d];
+    subhi[d] = boxhi[d];
+  }
+}
+
+void Domain::decompose(int rank, int nranks) {
+  grid_ = make_grid(rank, nranks, prd(0), prd(1), prd(2));
+  for (int d = 0; d < 3; ++d)
+    subbox_bounds(grid_, d, boxlo[d], boxhi[d], &sublo[d], &subhi[d]);
+}
+
+void Domain::remap(double* x) const {
+  for (int d = 0; d < 3; ++d) {
+    if (!periodic[d]) continue;
+    require(std::isfinite(x[d]),
+            "remap: non-finite coordinate (simulation blew up?)");
+    const double p = prd(d);
+    while (x[d] >= boxhi[d]) x[d] -= p;
+    while (x[d] < boxlo[d]) x[d] += p;
+  }
+}
+
+void Domain::minimum_image(double* dx) const {
+  for (int d = 0; d < 3; ++d) {
+    if (!periodic[d]) continue;
+    const double p = prd(d);
+    const double half = 0.5 * p;
+    while (dx[d] > half) dx[d] -= p;
+    while (dx[d] < -half) dx[d] += p;
+  }
+}
+
+bool Domain::inside_subbox(const double* x) const {
+  for (int d = 0; d < 3; ++d)
+    if (x[d] < sublo[d] || x[d] >= subhi[d]) return false;
+  return true;
+}
+
+}  // namespace mlk

@@ -1,0 +1,43 @@
+// Simulation domain: orthogonal periodic box plus this rank's sub-box.
+#pragma once
+
+#include "comm/decomposition.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Domain {
+ public:
+  // Global box bounds.
+  double boxlo[3] = {0, 0, 0};
+  double boxhi[3] = {1, 1, 1};
+  // This rank's sub-box (equals the global box in serial runs).
+  double sublo[3] = {0, 0, 0};
+  double subhi[3] = {1, 1, 1};
+  bool periodic[3] = {true, true, true};
+
+  void set_box(double xlo, double xhi, double ylo, double yhi, double zlo,
+               double zhi);
+
+  /// Partition the box for `rank` of `nranks`; fills sublo/subhi and grid.
+  void decompose(int rank, int nranks);
+
+  double prd(int d) const { return boxhi[d] - boxlo[d]; }
+  double volume() const { return prd(0) * prd(1) * prd(2); }
+
+  /// Remap a position into the primary box (periodic wrap).
+  void remap(double* x) const;
+
+  /// Minimum-image displacement components for dx = xi - xj.
+  void minimum_image(double* dx) const;
+
+  /// True if position is inside this rank's sub-box ([lo, hi) convention).
+  bool inside_subbox(const double* x) const;
+
+  const ProcGrid& grid() const { return grid_; }
+
+ private:
+  ProcGrid grid_;
+};
+
+}  // namespace mlk

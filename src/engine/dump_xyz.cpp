@@ -1,0 +1,81 @@
+#include "engine/dump_xyz.hpp"
+
+#include <vector>
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+void DumpXYZ::parse_args(const std::vector<std::string>& args) {
+  require(args.size() >= 2, "dump/xyz: expected <every> <filename>");
+  every_ = to_bigint(args[0]);
+  require(every_ > 0, "dump/xyz: interval must be positive");
+  path_ = args[1];
+}
+
+void DumpXYZ::init(Simulation& sim) {
+  const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
+  if (is_rank0) {
+    out_.open(path_);
+    require(out_.good(), "dump/xyz: cannot open '" + path_ + "'");
+  }
+}
+
+void DumpXYZ::write_frame(Simulation& sim) {
+  Atom& atom = sim.atom;
+  atom.sync<kk::Host>(X_MASK | TYPE_MASK | TAG_MASK);
+  const auto x = atom.k_x.h_view;
+  const auto type = atom.k_type.h_view;
+  const auto tag = atom.k_tag.h_view;
+
+  // Record: tag, type, x, y, z per owned atom.
+  std::vector<double> mine;
+  mine.reserve(std::size_t(atom.nlocal) * 5);
+  for (localint i = 0; i < atom.nlocal; ++i) {
+    mine.push_back(double(tag(std::size_t(i))));
+    mine.push_back(double(type(std::size_t(i))));
+    for (int d = 0; d < 3; ++d)
+      mine.push_back(x(std::size_t(i), std::size_t(d)));
+  }
+
+  std::vector<double> all;
+  if (sim.mpi == nullptr) {
+    all = std::move(mine);
+  } else if (sim.mpi->rank() == 0) {
+    all = std::move(mine);
+    for (int r = 1; r < sim.mpi->size(); ++r) {
+      auto part = sim.mpi->recv<double>(r, 7100);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+  } else {
+    sim.mpi->send(0, 7100, mine);
+  }
+
+  if (sim.mpi != nullptr && sim.mpi->rank() != 0) return;
+
+  out_ << all.size() / 5 << "\n";
+  out_ << "Lattice step=" << sim.ntimestep << " box=" << sim.domain.prd(0)
+       << " " << sim.domain.prd(1) << " " << sim.domain.prd(2) << "\n";
+  for (std::size_t k = 0; k < all.size(); k += 5) {
+    out_ << int(all[k + 1]) << " " << all[k + 2] << " " << all[k + 3] << " "
+         << all[k + 4] << "\n";
+  }
+  out_.flush();
+  ++frames_;
+}
+
+void DumpXYZ::end_of_step(Simulation& sim) {
+  if (sim.ntimestep % every_ == 0) write_frame(sim);
+}
+
+void register_dump_xyz() {
+  StyleRegistry::instance().add_fix(
+      "dump/xyz", [](ExecSpaceKind) -> std::unique_ptr<Fix> {
+        return std::make_unique<DumpXYZ>();
+      });
+}
+
+}  // namespace mlk

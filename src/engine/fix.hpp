@@ -1,0 +1,35 @@
+// Fix style base class (§2.2): persistent commands whose methods are
+// invoked at fixed points in every timestep to modify the trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlk {
+
+class Simulation;
+
+class Fix {
+ public:
+  virtual ~Fix() = default;
+
+  /// Style-specific arguments from the input script (after "fix <id> <style>").
+  virtual void parse_args(const std::vector<std::string>& args) { (void)args; }
+
+  virtual void init(Simulation& sim) { (void)sim; }
+  /// First half of velocity-Verlet (before force evaluation).
+  virtual void initial_integrate(Simulation& sim) { (void)sim; }
+  /// Second half of velocity-Verlet (after force evaluation).
+  virtual void final_integrate(Simulation& sim) { (void)sim; }
+  /// Force modification hook (thermostats, external fields).
+  virtual void post_force(Simulation& sim) { (void)sim; }
+  virtual void end_of_step(Simulation& sim) { (void)sim; }
+
+  std::string id;
+  std::string style_name;
+  /// Set by the engine once init() has run (fixes added between `run`
+  /// commands are initialized lazily at the next run).
+  bool init_done = false;
+};
+
+}  // namespace mlk

@@ -1,0 +1,27 @@
+// fix langevin — Langevin thermostat (friction + random kicks), used by the
+// melt examples to equilibrate before NVE production.
+#pragma once
+
+#include <memory>
+
+#include "engine/fix.hpp"
+#include "util/random.hpp"
+
+namespace mlk {
+
+class FixLangevin : public Fix {
+ public:
+  FixLangevin(double t_target, double damp, int seed);
+  /// args: <Tstart> <damp> <seed>
+  void parse_args(const std::vector<std::string>& args) override;
+  void post_force(Simulation& sim) override;
+
+ private:
+  double t_target_;
+  double damp_;
+  RanPark rng_;
+};
+
+void register_fix_langevin();
+
+}  // namespace mlk

@@ -1,0 +1,96 @@
+// fix langevin/kk — device-space Langevin thermostat, dual-instantiated
+// (§3.3). The stochastic kicks use per-atom tag-hashed counters instead of a
+// shared RNG stream so the kernel is parallel-safe and the trajectory is
+// independent of the execution space and decomposition.
+#include <cmath>
+
+#include "engine/fix.hpp"
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "kokkos/core.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+namespace {
+
+/// Counter-based uniform in [0,1): hash of (seed, tag, step, lane).
+/// Stateless -> each atom's kick is reproducible anywhere.
+inline double hash_uniform(unsigned seed, unsigned tag, unsigned step,
+                           unsigned lane) {
+  unsigned h = seed * 0x9E3779B9u ^ tag * 0x85EBCA6Bu ^ step * 0xC2B2AE35u ^
+               lane * 0x27D4EB2Fu;
+  h ^= h >> 16;
+  h *= 0x45D9F3Bu;
+  h ^= h >> 16;
+  h *= 0x45D9F3Bu;
+  h ^= h >> 16;
+  return double(h) / 4294967296.0;
+}
+
+}  // namespace
+
+template <class Space>
+class FixLangevinKokkos : public Fix {
+ public:
+  void parse_args(const std::vector<std::string>& args) override {
+    require(args.size() >= 3, "fix langevin/kk: expected <T> <damp> <seed>");
+    t_target_ = to_double(args[0]);
+    damp_ = to_double(args[1]);
+    seed_ = unsigned(to_int(args[2]));
+    require(damp_ > 0.0, "fix langevin/kk: damp must be positive");
+  }
+
+  void post_force(Simulation& sim) override {
+    Atom& a = sim.atom;
+    a.sync<Space>(V_MASK | F_MASK | TYPE_MASK | TAG_MASK);
+    a.k_mass.sync<Space>();
+    auto v = a.k_v.template view<Space>();
+    auto f = a.k_f.template view<Space>();
+    auto type = a.k_type.template view<Space>();
+    auto tag = a.k_tag.template view<Space>();
+    auto mass = a.k_mass.template view<Space>();
+    const double kT = sim.units.boltz * t_target_;
+    const double mvv2e = sim.units.mvv2e;
+    const double ftm2v = sim.units.ftm2v;
+    const double damp = damp_;
+    const double dt = sim.dt;
+    const unsigned seed = seed_;
+    const unsigned step = unsigned(sim.ntimestep & 0xffffffff);
+
+    kk::parallel_for(
+        std::string("FixLangevinKokkos<") + Space::name() + ">",
+        kk::RangePolicy<Space>(0, std::size_t(a.nlocal)), [=](std::size_t i) {
+          const double m = mass(std::size_t(type(i)));
+          const double gamma = mvv2e * m / damp / ftm2v;
+          const double sigma =
+              std::sqrt(24.0 * kT * mvv2e * m / (damp * dt)) / ftm2v;
+          const unsigned t = unsigned(tag(i) & 0xffffffff);
+          for (std::size_t d = 0; d < 3; ++d) {
+            const double u = hash_uniform(seed, t, step, unsigned(d)) - 0.5;
+            f(i, d) += -gamma * v(i, d) + sigma * u;
+          }
+        });
+    a.modified<Space>(F_MASK);
+  }
+
+ private:
+  double t_target_ = 1.0;
+  double damp_ = 1.0;
+  unsigned seed_ = 48291;
+};
+
+template class FixLangevinKokkos<kk::Host>;
+template class FixLangevinKokkos<kk::Device>;
+
+void register_fix_langevin_kokkos() {
+  StyleRegistry::instance().add_fix_kokkos(
+      "langevin", [](ExecSpaceKind space) -> std::unique_ptr<Fix> {
+        if (space == ExecSpaceKind::Host)
+          return std::make_unique<FixLangevinKokkos<kk::Host>>();
+        return std::make_unique<FixLangevinKokkos<kk::Device>>();
+      });
+}
+
+}  // namespace mlk

@@ -1,0 +1,87 @@
+#include "engine/fix_nvt.hpp"
+
+#include <cmath>
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+void FixNVT::parse_args(const std::vector<std::string>& args) {
+  require(args.size() >= 2, "fix nvt: expected <T> <damp>");
+  t_target = to_double(args[0]);
+  damp = to_double(args[1]);
+  require(t_target > 0.0, "fix nvt: T must be positive");
+  require(damp > 0.0, "fix nvt: damp must be positive");
+}
+
+void FixNVT::half_kick(Simulation& sim) {
+  // Update the thermostat variable from the instantaneous temperature and
+  // rescale velocities (operator-split half step).
+  const double dthalf = 0.5 * sim.dt;
+  const double t_now = sim.temperature();
+  zeta_ += dthalf * (t_now / t_target - 1.0) / (damp * damp);
+  zeta_integral_ += dthalf * zeta_;
+  const double scale = std::exp(-dthalf * zeta_);
+
+  Atom& a = sim.atom;
+  a.sync<kk::Host>(V_MASK);
+  auto v = a.k_v.h_view;
+  for (localint i = 0; i < a.nlocal; ++i)
+    for (int d = 0; d < 3; ++d) v(std::size_t(i), std::size_t(d)) *= scale;
+  a.modified<kk::Host>(V_MASK);
+}
+
+void FixNVT::initial_integrate(Simulation& sim) {
+  half_kick(sim);
+  // Standard velocity-Verlet first half.
+  Atom& a = sim.atom;
+  a.sync<kk::Host>(X_MASK | V_MASK | F_MASK | TYPE_MASK);
+  auto x = a.k_x.h_view;
+  auto v = a.k_v.h_view;
+  auto f = a.k_f.h_view;
+  auto type = a.k_type.h_view;
+  const double dt = sim.dt;
+  const double dtf = 0.5 * dt * sim.units.ftm2v;
+  for (localint i = 0; i < a.nlocal; ++i) {
+    const double dtfm = dtf / a.mass_of_type(type(std::size_t(i)));
+    for (int d = 0; d < 3; ++d) {
+      v(std::size_t(i), std::size_t(d)) += dtfm * f(std::size_t(i), std::size_t(d));
+      x(std::size_t(i), std::size_t(d)) += dt * v(std::size_t(i), std::size_t(d));
+    }
+  }
+  a.modified<kk::Host>(X_MASK | V_MASK);
+}
+
+void FixNVT::final_integrate(Simulation& sim) {
+  Atom& a = sim.atom;
+  a.sync<kk::Host>(V_MASK | F_MASK | TYPE_MASK);
+  auto v = a.k_v.h_view;
+  auto f = a.k_f.h_view;
+  auto type = a.k_type.h_view;
+  const double dtf = 0.5 * sim.dt * sim.units.ftm2v;
+  for (localint i = 0; i < a.nlocal; ++i) {
+    const double dtfm = dtf / a.mass_of_type(type(std::size_t(i)));
+    for (int d = 0; d < 3; ++d)
+      v(std::size_t(i), std::size_t(d)) += dtfm * f(std::size_t(i), std::size_t(d));
+  }
+  a.modified<kk::Host>(V_MASK);
+  half_kick(sim);
+}
+
+double FixNVT::conserved_correction(Simulation& sim) const {
+  const double g = 3.0 * double(sim.global_natoms());
+  const double kT = sim.units.boltz * t_target;
+  return 0.5 * g * kT * damp * damp * zeta_ * zeta_ + g * kT * zeta_integral_;
+}
+
+void register_fix_nvt() {
+  StyleRegistry::instance().add_fix(
+      "nvt", [](ExecSpaceKind) -> std::unique_ptr<Fix> {
+        return std::make_unique<FixNVT>();
+      });
+}
+
+}  // namespace mlk

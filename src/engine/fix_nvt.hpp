@@ -1,0 +1,37 @@
+// fix nvt — Nosé-Hoover thermostat (single chain), the standard canonical
+// integrator. Velocity-Verlet with a thermostat half-kick on either side,
+// LAMMPS-style:
+//   zeta' = (T/T_target - 1) / damp^2
+//   v    *= exp(-zeta * dt/2)
+// The conserved quantity H' = E + 0.5 * g kB T_t damp^2 zeta^2 +
+// g kB T_t * integral(zeta dt) is tracked for tests.
+#pragma once
+
+#include "engine/fix.hpp"
+
+namespace mlk {
+
+class FixNVT : public Fix {
+ public:
+  /// args: <Tstart> <damp>
+  void parse_args(const std::vector<std::string>& args) override;
+  void initial_integrate(Simulation& sim) override;
+  void final_integrate(Simulation& sim) override;
+
+  double t_target = 1.0;
+  double damp = 1.0;
+
+  /// Thermostat degree of freedom and its accumulated work (for the
+  /// conserved-quantity check).
+  double zeta() const { return zeta_; }
+  double conserved_correction(Simulation& sim) const;
+
+ private:
+  void half_kick(Simulation& sim);
+  double zeta_ = 0.0;
+  double zeta_integral_ = 0.0;
+};
+
+void register_fix_nvt();
+
+}  // namespace mlk

@@ -1,0 +1,154 @@
+#include "engine/input.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+void Input::file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open input script '" + path + "'");
+  std::string text;
+  while (std::getline(in, text)) line(text);
+}
+
+void Input::line(const std::string& text) {
+  const auto words = tokenize(text);
+  if (!words.empty()) execute(words);
+}
+
+Compute* Input::find_compute(const std::string& id) {
+  auto it = computes_.find(id);
+  return it == computes_.end() ? nullptr : it->second.get();
+}
+
+void Input::execute(const std::vector<std::string>& words) {
+  const std::string& cmd = words[0];
+  auto arg = [&](std::size_t i) -> const std::string& {
+    require(i < words.size(), "command '" + cmd + "': missing argument");
+    return words[i];
+  };
+
+  if (cmd == "units") {
+    sim_.set_units(arg(1));
+  } else if (cmd == "lattice") {
+    lattice_.style = arg(1);
+    const double scale = to_double(arg(2));
+    require(scale > 0.0, "lattice: scale must be positive");
+    if (sim_.units.name == "lj") {
+      // LAMMPS convention: in lj units the scale argument is the reduced
+      // density rho*, and a = (basis/rho*)^(1/3) for cubic cells.
+      const int basis = lattice_basis_count(lattice_.style);
+      lattice_.a = std::cbrt(double(basis) / scale);
+    } else {
+      lattice_.a = scale;
+    }
+  } else if (cmd == "create_atoms") {
+    lattice_.nx = to_int(arg(1));
+    lattice_.ny = to_int(arg(2));
+    lattice_.nz = to_int(arg(3));
+    lattice_.jitter = 0.0;
+    for (std::size_t i = 4; i < words.size(); ++i) {
+      if (words[i] == "jitter") {
+        lattice_.jitter = to_double(arg(i + 1));
+        lattice_.seed = to_int(arg(i + 2));
+        i += 2;
+      } else {
+        fatal("create_atoms: unknown keyword '" + words[i] + "'");
+      }
+    }
+    if (sim_.mpi) sim_.domain.decompose(sim_.mpi->rank(), sim_.mpi->size());
+    create_lattice(lattice_, sim_.domain, sim_.atom);
+  } else if (cmd == "mass") {
+    sim_.atom.set_mass(to_int(arg(1)), to_double(arg(2)));
+  } else if (cmd == "velocity") {
+    require(arg(1) == "all", "velocity: only group 'all' is supported");
+    if (arg(2) == "create") {
+      create_velocities(sim_.atom, to_double(arg(3)), sim_.units.boltz,
+                        sim_.units.mvv2e, to_int(arg(4)), sim_.mpi);
+    } else if (arg(2) == "scale") {
+      const double t_target = to_double(arg(3));
+      const double t_now = sim_.temperature();
+      require(t_now > 0.0, "velocity scale: zero current temperature");
+      const double s = std::sqrt(t_target / t_now);
+      auto v = sim_.atom.k_v.h_view;
+      sim_.atom.sync<kk::Host>(V_MASK);
+      for (localint i = 0; i < sim_.atom.nlocal; ++i)
+        for (int d = 0; d < 3; ++d)
+          v(std::size_t(i), std::size_t(d)) *= s;
+      sim_.atom.modified<kk::Host>(V_MASK);
+    } else {
+      fatal("velocity: unknown sub-command '" + arg(2) + "'");
+    }
+  } else if (cmd == "set") {
+    require(arg(1) == "type" && arg(3) == "charge",
+            "set: only 'set type <t> charge <q>' is supported");
+    const int t = to_int(arg(2));
+    const double qv = to_double(arg(4));
+    sim_.atom.sync<kk::Host>(Q_MASK | TYPE_MASK);
+    auto q = sim_.atom.k_q.h_view;
+    auto type = sim_.atom.k_type.h_view;
+    for (localint i = 0; i < sim_.atom.nlocal; ++i)
+      if (type(std::size_t(i)) == t) q(std::size_t(i)) = qv;
+    sim_.atom.modified<kk::Host>(Q_MASK);
+  } else if (cmd == "pair_style") {
+    sim_.pair = StyleRegistry::instance().create_pair(arg(1),
+                                                      sim_.global_suffix);
+    sim_.pair->settings({words.begin() + 2, words.end()});
+  } else if (cmd == "pair_coeff") {
+    require(sim_.pair != nullptr, "pair_coeff before pair_style");
+    sim_.pair->ntypes_hint = sim_.atom.ntypes;
+    sim_.pair->coeff({words.begin() + 1, words.end()});
+  } else if (cmd == "neighbor") {
+    sim_.neighbor.skin = to_double(arg(1));
+  } else if (cmd == "neigh_modify") {
+    for (std::size_t i = 1; i + 1 < words.size(); i += 2) {
+      if (words[i] == "every")
+        sim_.neighbor.every = to_int(words[i + 1]);
+      else if (words[i] == "delay")
+        sim_.neighbor.delay = to_int(words[i + 1]);
+      else if (words[i] == "check")
+        sim_.neighbor.check = to_bool(words[i + 1]);
+      else
+        fatal("neigh_modify: unknown keyword '" + words[i] + "'");
+    }
+  } else if (cmd == "newton") {
+    sim_.newton_override = to_bool(arg(1)) ? 1 : 0;
+  } else if (cmd == "suffix") {
+    const std::string& s = arg(1);
+    sim_.global_suffix = (s == "off") ? "" : s;
+  } else if (cmd == "package") {
+    // accepted for input compatibility (execution defaults handled by suffix)
+  } else if (cmd == "fix") {
+    const std::string& id = arg(1);
+    require(arg(2) == "all", "fix: only group 'all' is supported");
+    auto fix = StyleRegistry::instance().create_fix(arg(3), sim_.global_suffix);
+    fix->id = id;
+    fix->parse_args({words.begin() + 4, words.end()});
+    sim_.fixes.push_back(std::move(fix));
+  } else if (cmd == "unfix") {
+    const std::string& id = arg(1);
+    std::erase_if(sim_.fixes,
+                  [&](const std::unique_ptr<Fix>& f) { return f->id == id; });
+  } else if (cmd == "compute") {
+    const std::string& id = arg(1);
+    require(arg(2) == "all", "compute: only group 'all' is supported");
+    auto c = StyleRegistry::instance().create_compute(arg(3));
+    c->id = id;
+    computes_[id] = std::move(c);
+  } else if (cmd == "timestep") {
+    sim_.dt = to_double(arg(1));
+  } else if (cmd == "thermo") {
+    sim_.thermo.every = to_bigint(arg(1));
+  } else if (cmd == "run") {
+    sim_.run(to_bigint(arg(1)));
+  } else {
+    fatal("unknown command '" + cmd + "'");
+  }
+}
+
+}  // namespace mlk

@@ -1,0 +1,130 @@
+#include "engine/lattice.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace mlk {
+
+namespace {
+
+struct Basis {
+  double x, y, z;
+  int type;
+};
+
+std::vector<Basis> basis_for(const std::string& style) {
+  if (style == "sc") return {{0.0, 0.0, 0.0, 1}};
+  if (style == "bcc") return {{0.0, 0.0, 0.0, 1}, {0.5, 0.5, 0.5, 1}};
+  if (style == "fcc")
+    return {{0.0, 0.0, 0.0, 1},
+            {0.5, 0.5, 0.0, 1},
+            {0.5, 0.0, 0.5, 1},
+            {0.0, 0.5, 0.5, 1}};
+  if (style == "hns_like") {
+    // Synthetic molecular crystal: an 8-site cell mixing a "backbone"
+    // species (type 1) and "substituent" species (type 2) with the dense,
+    // low-symmetry packing characteristic of energetic molecular crystals
+    // like HNS. Basis chosen so every type-1 atom has 2-3 type-1 bonded
+    // neighbors at ~0.35a and several type-2 neighbors at ~0.3a.
+    return {{0.10, 0.10, 0.10, 1}, {0.40, 0.15, 0.12, 1},
+            {0.62, 0.40, 0.18, 1}, {0.85, 0.65, 0.22, 1},
+            {0.25, 0.35, 0.30, 2}, {0.55, 0.62, 0.40, 2},
+            {0.78, 0.12, 0.55, 2}, {0.15, 0.80, 0.70, 2}};
+  }
+  fatal("unknown lattice style '" + style + "'");
+}
+
+}  // namespace
+
+int lattice_basis_count(const std::string& style) {
+  return int(basis_for(style).size());
+}
+
+bigint create_lattice(const LatticeSpec& spec, Domain& domain, Atom& atom) {
+  const auto basis = basis_for(spec.style);
+  require(spec.a > 0.0, "lattice constant must be positive");
+  require(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+          "lattice repetitions must be positive");
+
+  domain.set_box(0.0, spec.nx * spec.a, 0.0, spec.ny * spec.a, 0.0,
+                 spec.nz * spec.a);
+  // Re-derive the sub-box if already decomposed (grid retains rank info).
+  if (domain.grid().nranks > 1)
+    domain.decompose(domain.grid().rank, domain.grid().nranks);
+
+  int maxtype = 1;
+  for (const auto& b : basis) maxtype = std::max(maxtype, b.type);
+  if (atom.ntypes < maxtype) atom.set_ntypes(maxtype);
+
+  RanPark jitter_rng(spec.seed);
+  bigint tag = 0;
+  for (int ix = 0; ix < spec.nx; ++ix)
+    for (int iy = 0; iy < spec.ny; ++iy)
+      for (int iz = 0; iz < spec.nz; ++iz)
+        for (const auto& b : basis) {
+          ++tag;
+          double x[3] = {(ix + b.x) * spec.a, (iy + b.y) * spec.a,
+                         (iz + b.z) * spec.a};
+          if (spec.jitter > 0.0) {
+            // Draw jitter deterministically for every site on every rank so
+            // decomposed runs generate identical global configurations.
+            for (int d = 0; d < 3; ++d)
+              x[d] += spec.jitter * spec.a * (2.0 * jitter_rng.uniform() - 1.0);
+            domain.remap(x);
+          }
+          if (domain.inside_subbox(x))
+            atom.add_atom(b.type, tag, x[0], x[1], x[2]);
+        }
+  atom.natoms = bigint(spec.nx) * spec.ny * spec.nz * bigint(basis.size());
+  return atom.nlocal;
+}
+
+void create_velocities(Atom& atom, double temperature, double boltz,
+                       double mvv2e, int seed, simmpi::Comm* mpi) {
+  require(temperature >= 0.0, "temperature must be non-negative");
+  auto v = atom.k_v.h_view;
+  auto type = atom.k_type.h_view;
+  const auto tag = atom.k_tag.h_view;
+  const localint n = atom.nlocal;
+
+  // Every rank walks one global stream over all tags in tag order (the
+  // same approach the jitter generator uses), so each atom receives the
+  // same unit gaussians regardless of which rank owns it.
+  std::map<tagint, localint> local_of;
+  for (localint i = 0; i < n; ++i) local_of[tag(std::size_t(i))] = i;
+
+  double p[3] = {0, 0, 0};
+  double mtot = 0.0;
+  RanPark rng(seed);
+  for (bigint t = 1; t <= atom.natoms; ++t) {
+    double g[3];
+    for (double& gk : g) gk = rng.gaussian();
+    auto it = local_of.find(tagint(t));
+    if (it == local_of.end()) continue;
+    const localint i = it->second;
+    const double m = atom.mass_of_type(type(std::size_t(i)));
+    const double sd = std::sqrt(boltz * temperature / (m * mvv2e));
+    for (int d = 0; d < 3; ++d) {
+      v(std::size_t(i), std::size_t(d)) = sd * g[d];
+      p[d] += m * sd * g[d];
+    }
+    mtot += m;
+  }
+  // Remove the *global* net momentum so the cell does not drift.
+  if (mpi) {
+    for (double& c : p) c = mpi->allreduce_sum(c);
+    mtot = mpi->allreduce_sum(mtot);
+  }
+  if (mtot > 0.0)
+    for (localint i = 0; i < n; ++i)
+      for (int d = 0; d < 3; ++d)
+        v(std::size_t(i), std::size_t(d)) -= p[d] / mtot;
+
+  atom.k_v.modify<kk::Host>();
+}
+
+}  // namespace mlk

@@ -1,0 +1,44 @@
+// Lattice generators for initial configurations: the workloads of the
+// paper's case studies.
+//  * fcc     — Lennard-Jones melt (the classic "lj/cut" benchmark).
+//  * bcc     — SNAP tungsten benchmark crystal.
+//  * hns_like — synthetic two-species molecular crystal with HNS-like
+//               density/coordination statistics for the ReaxFF benchmark
+//               (substitution documented in DESIGN.md).
+#pragma once
+
+#include <string>
+
+#include "comm/simmpi.hpp"
+#include "engine/atom.hpp"
+#include "engine/domain.hpp"
+
+namespace mlk {
+
+struct LatticeSpec {
+  std::string style = "fcc";  // fcc | bcc | sc | hns_like
+  double a = 1.0;             // cubic lattice constant
+  int nx = 1, ny = 1, nz = 1; // unit-cell repetitions
+  double jitter = 0.0;        // random displacement amplitude (fraction of a)
+  int seed = 12345;           // jitter RNG seed
+};
+
+/// Number of basis atoms per unit cell for a lattice style.
+int lattice_basis_count(const std::string& style);
+
+/// Set the domain's global box to span the lattice and create the atoms that
+/// fall inside this rank's sub-box. Types: fcc/bcc/sc use type 1; hns_like
+/// alternates types 1 (C-like backbone) and 2 (O/N-like substituent).
+/// Returns the number of atoms created locally; atom->natoms is set to the
+/// global total.
+bigint create_lattice(const LatticeSpec& spec, Domain& domain, Atom& atom);
+
+/// Assign Maxwell-Boltzmann velocities at temperature T, using per-type
+/// masses and the unit system's mvv2e. Each atom's draw is seeded by its
+/// global tag, so the velocity field is independent of the domain
+/// decomposition (LAMMPS's "loop geom" behavior); net momentum is removed
+/// globally (allreduced when `mpi` is given).
+void create_velocities(Atom& atom, double temperature, double boltz,
+                       double mvv2e, int seed, simmpi::Comm* mpi = nullptr);
+
+}  // namespace mlk

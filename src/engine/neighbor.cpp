@@ -1,0 +1,207 @@
+#include "engine/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+namespace {
+
+/// Half-list owned/ghost assignment criterion (newton on): the pair is kept
+/// by the side whose ghost partner is "above" it in z, then y, then x —
+/// LAMMPS's standard tie-breaking so exactly one rank owns each pair.
+inline bool ghost_pair_owned(const kk::View<double, 2, kk::LayoutRight>& x,
+                             localint i, localint j) {
+  const double zi = x(std::size_t(i), 2), zj = x(std::size_t(j), 2);
+  if (zj < zi) return false;
+  if (zj > zi) return true;
+  const double yi = x(std::size_t(i), 1), yj = x(std::size_t(j), 1);
+  if (yj < yi) return false;
+  if (yj > yi) return true;
+  return x(std::size_t(j), 0) >= x(std::size_t(i), 0);
+}
+
+inline bool accept_pair(const kk::View<double, 2, kk::LayoutRight>& x,
+                        localint i, localint j, localint nlocal,
+                        NeighStyle style, bool newton) {
+  if (style == NeighStyle::Full) return j != i;
+  if (j < nlocal) return j > i;
+  // ghost partner
+  if (!newton) return true;
+  return ghost_pair_owned(x, i, j);
+}
+
+}  // namespace
+
+bigint NeighborList::total_pairs() const {
+  bigint total = 0;
+  for (localint i = 0; i < inum; ++i)
+    total += k_numneigh.h_view(std::size_t(i));
+  return total;
+}
+
+double NeighborList::avg_neighbors() const {
+  return inum == 0 ? 0.0 : double(total_pairs()) / double(inum);
+}
+
+int BinGrid::coord_to_bin(const double* x) const {
+  int b[3];
+  for (int d = 0; d < 3; ++d) {
+    b[d] = int((x[d] - lo[d]) / binsize[d]);
+    b[d] = std::clamp(b[d], 0, nbin[d] - 1);
+  }
+  return index(b[0], b[1], b[2]);
+}
+
+void BinGrid::build(const Atom& atom, const Domain& domain, double cutghost) {
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = domain.sublo[d] - cutghost;
+    hi[d] = domain.subhi[d] + cutghost;
+    const double span = hi[d] - lo[d];
+    nbin[d] = std::max(1, int(span / cutghost));
+    binsize[d] = span / nbin[d];
+  }
+  bins.assign(std::size_t(nbin[0]) * nbin[1] * nbin[2], {});
+  const auto x = atom.k_x.h_view;
+  for (localint i = 0; i < atom.nall(); ++i) {
+    const double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                          x(std::size_t(i), 2)};
+    bins[std::size_t(coord_to_bin(xi))].push_back(i);
+  }
+}
+
+void Neighbor::build(const Atom& atom, const Domain& domain) {
+  require(cutoff > 0.0, "neighbor cutoff not set");
+  const double cutneigh = cutghost();
+  const double cutsq = cutneigh * cutneigh;
+
+  BinGrid grid;
+  grid.build(atom, domain, cutneigh);
+
+  const auto x = atom.k_x.h_view;
+  const localint nlocal = atom.nlocal;
+  require(!ghost_rows || style == NeighStyle::Full,
+          "ghost rows require a full neighbor list");
+  const localint nrows = ghost_rows ? atom.nall() : nlocal;
+
+  list.style = style;
+  list.newton = newton;
+  list.inum = nlocal;
+  list.gnum = nrows - nlocal;
+
+  // Pass 1: count per-atom neighbors.
+  std::vector<int> counts(std::size_t(std::max<localint>(nrows, 1)), 0);
+  auto for_candidates = [&](localint i, auto&& fn) {
+    const double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                          x(std::size_t(i), 2)};
+    int bc[3];
+    for (int d = 0; d < 3; ++d) {
+      bc[d] = std::clamp(int((xi[d] - grid.lo[d]) / grid.binsize[d]), 0,
+                         grid.nbin[d] - 1);
+    }
+    for (int bx = std::max(0, bc[0] - 1);
+         bx <= std::min(grid.nbin[0] - 1, bc[0] + 1); ++bx)
+      for (int by = std::max(0, bc[1] - 1);
+           by <= std::min(grid.nbin[1] - 1, bc[1] + 1); ++by)
+        for (int bz = std::max(0, bc[2] - 1);
+             bz <= std::min(grid.nbin[2] - 1, bc[2] + 1); ++bz)
+          for (int j : grid.bins[std::size_t(grid.index(bx, by, bz))]) {
+            if (!accept_pair(x, i, j, nlocal, style, newton)) continue;
+            const double dx = xi[0] - x(std::size_t(j), 0);
+            const double dy = xi[1] - x(std::size_t(j), 1);
+            const double dz = xi[2] - x(std::size_t(j), 2);
+            if (dx * dx + dy * dy + dz * dz <= cutsq) fn(j);
+          }
+  };
+
+  int maxn = 0;
+  for (localint i = 0; i < nrows; ++i) {
+    int c = 0;
+    for_candidates(i, [&](int) { ++c; });
+    counts[std::size_t(i)] = c;
+    maxn = std::max(maxn, c);
+  }
+  list.maxneighs = maxn;
+
+  // Pass 2: fill the 2-D table.
+  list.k_neighbors.realloc(std::size_t(std::max<localint>(nrows, 1)),
+                           std::size_t(std::max(maxn, 1)));
+  list.k_numneigh.realloc(std::size_t(std::max<localint>(nrows, 1)));
+  auto neigh = list.k_neighbors.h_view;
+  auto num = list.k_numneigh.h_view;
+  for (localint i = 0; i < nrows; ++i) {
+    int c = 0;
+    for_candidates(i, [&](int j) { neigh(std::size_t(i), std::size_t(c++)) = j; });
+    num(std::size_t(i)) = c;
+  }
+  list.k_neighbors.modify<kk::Host>();
+  list.k_numneigh.modify<kk::Host>();
+
+  ++nbuilds;
+}
+
+bool Neighbor::check_distance(const Atom& atom) const {
+  if (xhold_.size() != std::size_t(atom.nlocal) * 3) return true;
+  const double trigger = 0.25 * skin * skin;  // (skin/2)^2
+  const auto x = atom.k_x.h_view;
+  for (localint i = 0; i < atom.nlocal; ++i) {
+    double rsq = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      const double dd =
+          x(std::size_t(i), std::size_t(d)) - xhold_[std::size_t(i) * 3 + std::size_t(d)];
+      rsq += dd * dd;
+    }
+    if (rsq > trigger) return true;
+  }
+  return false;
+}
+
+void Neighbor::store_build_positions(const Atom& atom) {
+  xhold_.resize(std::size_t(atom.nlocal) * 3);
+  const auto x = atom.k_x.h_view;
+  for (localint i = 0; i < atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      xhold_[std::size_t(i) * 3 + std::size_t(d)] =
+          x(std::size_t(i), std::size_t(d));
+}
+
+NeighborList brute_force_list(const Atom& atom, const Domain& /*domain*/,
+                              double cutoff, NeighStyle style, bool newton,
+                              localint nlocal) {
+  const auto x = atom.k_x.h_view;
+  const double cutsq = cutoff * cutoff;
+  NeighborList out;
+  out.style = style;
+  out.newton = newton;
+  out.inum = nlocal;
+
+  std::vector<std::vector<int>> rows{std::size_t(nlocal)};
+  for (localint i = 0; i < nlocal; ++i) {
+    for (localint j = 0; j < atom.nall(); ++j) {
+      if (!accept_pair(x, i, j, nlocal, style, newton)) continue;
+      const double dx = x(std::size_t(i), 0) - x(std::size_t(j), 0);
+      const double dy = x(std::size_t(i), 1) - x(std::size_t(j), 1);
+      const double dz = x(std::size_t(i), 2) - x(std::size_t(j), 2);
+      if (dx * dx + dy * dy + dz * dz <= cutsq)
+        rows[std::size_t(i)].push_back(j);
+    }
+  }
+  int maxn = 1;
+  for (const auto& r : rows) maxn = std::max(maxn, int(r.size()));
+  out.maxneighs = maxn;
+  out.k_neighbors.realloc(std::size_t(std::max<localint>(nlocal, 1)),
+                          std::size_t(maxn));
+  out.k_numneigh.realloc(std::size_t(std::max<localint>(nlocal, 1)));
+  for (localint i = 0; i < nlocal; ++i) {
+    out.k_numneigh.h_view(std::size_t(i)) = int(rows[std::size_t(i)].size());
+    for (std::size_t c = 0; c < rows[std::size_t(i)].size(); ++c)
+      out.k_neighbors.h_view(std::size_t(i), c) = rows[std::size_t(i)][c];
+  }
+  out.k_neighbors.modify<kk::Host>();
+  out.k_numneigh.modify<kk::Host>();
+  return out;
+}
+
+}  // namespace mlk

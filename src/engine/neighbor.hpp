@@ -1,0 +1,93 @@
+// Binned Verlet neighbor lists (paper §4.1).
+//
+// Two list styles exist exactly as in LAMMPS-KOKKOS:
+//  * half — each pair appears once; with newton on, owned-ghost pairs are
+//    assigned by a coordinate criterion and ghost forces fold back via
+//    reverse communication; with newton off, every rank keeps its own side
+//    of owned-ghost pairs (duplicate compute, no force communication).
+//  * full — every atom lists all neighbors; forces are computed redundantly
+//    for both partners but no write conflicts or reverse comm occur.
+//
+// Storage is the 2-D neighbor table of Appendix B: a (natoms x maxneighs)
+// DualView plus a per-atom count, so no flattened index can overflow 32 bits.
+#pragma once
+
+#include <vector>
+
+#include "engine/atom.hpp"
+#include "engine/domain.hpp"
+#include "kokkos/dualview.hpp"
+
+namespace mlk {
+
+enum class NeighStyle { Half, Full };
+
+struct NeighborList {
+  NeighStyle style = NeighStyle::Full;
+  bool newton = false;
+  localint inum = 0;  // number of owned atoms with rows (== nlocal)
+  localint gnum = 0;  // ghost atoms with rows (bonded styles, see ghost_rows)
+  int maxneighs = 0;
+  kk::DualView<int, 2> k_neighbors;  // (inum, maxneighs) local+ghost indices
+  kk::DualView<int, 1> k_numneigh;   // (inum)
+
+  /// Total number of stored pairs (bigint: can exceed 2^31 at scale).
+  bigint total_pairs() const;
+  double avg_neighbors() const;
+};
+
+/// Uniform cell binning over the extended (sub-box + ghost margin) region.
+struct BinGrid {
+  double lo[3], hi[3];
+  int nbin[3] = {1, 1, 1};
+  double binsize[3] = {1, 1, 1};
+  std::vector<std::vector<int>> bins;  // atom indices per cell
+
+  int coord_to_bin(const double* x) const;
+  void build(const Atom& atom, const Domain& domain, double cutghost);
+  int index(int bx, int by, int bz) const {
+    return (bx * nbin[1] + by) * nbin[2] + bz;
+  }
+};
+
+class Neighbor {
+ public:
+  double cutoff = 0.0;  // force cutoff (max over pair styles)
+  double skin = 0.3;
+  NeighStyle style = NeighStyle::Full;
+  bool newton = false;
+  int every = 1;    // consider rebuild every N steps
+  int delay = 0;    // never rebuild before N steps since last
+  bool check = true;  // only rebuild if an atom moved > skin/2
+
+  /// Also build rows for ghost atoms (full style only). Needed by bonded
+  /// potentials (ReaxFF torsions walk bonds of bonded ghosts). Rows of
+  /// ghosts deeper than cutghost - bond cutoff from the sub-box may be
+  /// incomplete; callers must only consume rows within that margin.
+  bool ghost_rows = false;
+
+  double cutghost() const { return cutoff + skin; }
+
+  /// (Re)build the list for the current atom/ghost configuration.
+  /// Host-side serial binning; Kokkos styles sync the DualViews to device.
+  void build(const Atom& atom, const Domain& domain);
+
+  /// True if any owned atom moved more than skin/2 since the last build.
+  bool check_distance(const Atom& atom) const;
+
+  /// Record positions at build time (basis for check_distance).
+  void store_build_positions(const Atom& atom);
+
+  NeighborList list;
+  bigint nbuilds = 0;
+
+ private:
+  std::vector<double> xhold_;  // positions at last build (3*nlocal)
+};
+
+/// Reference O(N^2) list builder used by tests to validate the binned build.
+NeighborList brute_force_list(const Atom& atom, const Domain& domain,
+                              double cutoff, NeighStyle style, bool newton,
+                              localint nlocal);
+
+}  // namespace mlk

@@ -1,0 +1,128 @@
+#include "engine/neighbor_kokkos.hpp"
+
+#include <algorithm>
+
+#include "kokkos/core.hpp"
+#include "util/error.hpp"
+
+namespace mlk {
+
+void NeighborKokkos::build(const Atom& atom, const Domain& domain) {
+  require(cutoff > 0.0, "neighbor cutoff not set");
+  const double cutneigh = cutghost();
+  const double cutsq = cutneigh * cutneigh;
+
+  // Host-side binning (cheap, O(N)) staged into device views.
+  BinGrid grid;
+  grid.build(atom, domain, cutneigh);
+  int max_per_bin = 1;
+  for (const auto& b : grid.bins)
+    max_per_bin = std::max(max_per_bin, int(b.size()));
+  const std::size_t nbins = grid.bins.size();
+
+  kk::View2D<int, kk::Device> bin_atoms("neigh::bin_atoms", nbins,
+                                        std::size_t(max_per_bin));
+  kk::View1D<int, kk::Device> bin_count("neigh::bin_count", nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    bin_count(b) = int(grid.bins[b].size());
+    for (std::size_t k = 0; k < grid.bins[b].size(); ++k)
+      bin_atoms(b, k) = grid.bins[b][k];
+  }
+
+  // Atom data must be current on device.
+  const_cast<Atom&>(atom).sync<kk::Device>(X_MASK);
+  auto x = atom.k_x.d_view;
+  const localint nlocal = atom.nlocal;
+  const bool full = style == NeighStyle::Full;
+  const bool newt = newton;
+
+  const int nbx = grid.nbin[0], nby = grid.nbin[1], nbz = grid.nbin[2];
+  const double glo0 = grid.lo[0], glo1 = grid.lo[1], glo2 = grid.lo[2];
+  const double bs0 = grid.binsize[0], bs1 = grid.binsize[1],
+               bs2 = grid.binsize[2];
+
+  auto visit = [=](localint i, auto&& fn) {
+    const double xi0 = x(std::size_t(i), 0);
+    const double xi1 = x(std::size_t(i), 1);
+    const double xi2 = x(std::size_t(i), 2);
+    int bc0 = std::clamp(int((xi0 - glo0) / bs0), 0, nbx - 1);
+    int bc1 = std::clamp(int((xi1 - glo1) / bs1), 0, nby - 1);
+    int bc2 = std::clamp(int((xi2 - glo2) / bs2), 0, nbz - 1);
+    for (int bx = std::max(0, bc0 - 1); bx <= std::min(nbx - 1, bc0 + 1); ++bx)
+      for (int by = std::max(0, bc1 - 1); by <= std::min(nby - 1, bc1 + 1);
+           ++by)
+        for (int bz = std::max(0, bc2 - 1); bz <= std::min(nbz - 1, bc2 + 1);
+             ++bz) {
+          const std::size_t bin = std::size_t((bx * nby + by) * nbz + bz);
+          const int cnt = bin_count(bin);
+          for (int k = 0; k < cnt; ++k) {
+            const int j = bin_atoms(bin, std::size_t(k));
+            // Pair acceptance (same rules as the host build).
+            if (full) {
+              if (j == i) continue;
+            } else if (j < nlocal) {
+              if (j <= i) continue;
+            } else if (newt) {
+              const double zj = x(std::size_t(j), 2);
+              if (zj < xi2) continue;
+              if (zj == xi2) {
+                const double yj = x(std::size_t(j), 1);
+                if (yj < xi1) continue;
+                if (yj == xi1 && x(std::size_t(j), 0) < xi0) continue;
+              }
+            }
+            const double dx = xi0 - x(std::size_t(j), 0);
+            const double dy = xi1 - x(std::size_t(j), 1);
+            const double dz = xi2 - x(std::size_t(j), 2);
+            if (dx * dx + dy * dy + dz * dz <= cutsq) fn(j);
+          }
+        }
+  };
+
+  // Pass 1: device-parallel count + max-reduction for row width.
+  kk::View1D<int, kk::Device> counts("neigh::counts",
+                                     std::size_t(std::max<localint>(nlocal, 1)));
+  kk::parallel_for("NeighborKokkos::count",
+                   kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
+                   [=](std::size_t i) {
+                     int c = 0;
+                     visit(localint(i), [&](int) { ++c; });
+                     counts(i) = c;
+                   });
+  int maxn = 0;
+  kk::parallel_reduce_impl(
+      "NeighborKokkos::maxneighs", kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
+      [=](std::size_t i, int& m) {
+        if (counts(i) > m) m = counts(i);
+      },
+      kk::Max<int>(maxn));
+  if (maxn < 1) maxn = 1;
+
+  list.style = style;
+  list.newton = newton;
+  list.inum = nlocal;
+  list.maxneighs = maxn;
+  list.k_neighbors.realloc(std::size_t(std::max<localint>(nlocal, 1)),
+                           std::size_t(maxn));
+  list.k_numneigh.realloc(std::size_t(std::max<localint>(nlocal, 1)));
+
+  auto neigh = list.k_neighbors.d_view;
+  auto num = list.k_numneigh.d_view;
+
+  // Pass 2: device-parallel fill.
+  kk::parallel_for("NeighborKokkos::fill",
+                   kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
+                   [=](std::size_t i) {
+                     int c = 0;
+                     visit(localint(i), [&](int j) {
+                       neigh(i, std::size_t(c++)) = j;
+                     });
+                     num(i) = c;
+                   });
+
+  list.k_neighbors.modify<kk::Device>();
+  list.k_numneigh.modify<kk::Device>();
+  ++nbuilds;
+}
+
+}  // namespace mlk

@@ -1,0 +1,30 @@
+// Device-parallel neighbor list construction (the KOKKOS-package build).
+//
+// Binning metadata is staged into device-layout Views and the count/fill
+// passes run as device parallel_for over atoms, the one-thread-per-atom
+// pattern of §4.1. Results are written directly into the device copies of
+// the NeighborList DualViews and validated against the host build in tests.
+#pragma once
+
+#include "engine/neighbor.hpp"
+
+namespace mlk {
+
+class NeighborKokkos {
+ public:
+  double cutoff = 0.0;
+  double skin = 0.3;
+  NeighStyle style = NeighStyle::Full;
+  bool newton = false;
+
+  double cutghost() const { return cutoff + skin; }
+
+  /// Build on the Device execution space. On return, the list's device views
+  /// are current and marked modified (host code syncs on demand).
+  void build(const Atom& atom, const Domain& domain);
+
+  NeighborList list;
+  bigint nbuilds = 0;
+};
+
+}  // namespace mlk

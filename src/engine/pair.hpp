@@ -1,0 +1,80 @@
+// Pair style base class (the "pair style" category of §2.2).
+//
+// Concrete potentials (LJ, EAM, ReaxFF-lite, SNAP) override compute();
+// Kokkos-accelerated variants additionally set execution_space and their
+// datamasks, which the engine uses to drive DualView sync before/after the
+// force call — the flag mechanism of §3.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/atom.hpp"
+#include "engine/neighbor.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+enum class ExecSpaceKind { Host, Device };
+
+class Pair {
+ public:
+  virtual ~Pair() = default;
+
+  /// Style-specific global settings (pair_style command args).
+  virtual void settings(const std::vector<std::string>& args) { (void)args; }
+
+  /// Per-type-pair coefficients (pair_coeff command args). The engine sets
+  /// ntypes_hint from the atom store before calling, so wildcard ("*")
+  /// specifications know the full type range.
+  virtual void coeff(const std::vector<std::string>& args) { (void)args; }
+
+  int ntypes_hint = 1;
+
+  /// One-time initialization once box/types are known.
+  virtual void init(Simulation& sim) { (void)sim; }
+
+  /// Compute forces into atom.f; accumulate energy/virial when eflag.
+  virtual void compute(Simulation& sim, bool eflag) = 0;
+
+  /// Largest interaction cutoff (drives the neighbor list).
+  virtual double cutoff() const = 0;
+
+  /// Which neighbor list the style wants.
+  virtual NeighStyle neigh_style() const { return NeighStyle::Half; }
+
+  /// Half-list styles say whether they exploit Newton's third law for ghost
+  /// pairs (requiring reverse force communication).
+  virtual bool newton() const { return true; }
+
+  /// Bonded styles that walk neighbor rows of ghost atoms (ReaxFF torsions).
+  virtual bool ghost_rows_needed() const { return false; }
+
+  // Declared data access, consumed by the engine's sync logic.
+  unsigned datamask_read = X_MASK | TYPE_MASK;
+  unsigned datamask_modify = F_MASK;
+
+  /// Execution space of the compute kernels (Host for legacy styles).
+  ExecSpaceKind execution_space = ExecSpaceKind::Host;
+
+  /// True for styles that accumulate forces onto ghost atoms even with a
+  /// full neighbor list (SNAP, ReaxFF bonded terms): the engine must fold
+  /// ghost forces back to owners after compute().
+  bool needs_reverse_comm = false;
+
+  // Accumulated per-call results (this rank's share).
+  double eng_vdwl = 0.0;
+  double eng_coul = 0.0;
+  double virial[6] = {0, 0, 0, 0, 0, 0};
+
+  std::string style_name;
+
+ protected:
+  void reset_accumulators() {
+    eng_vdwl = eng_coul = 0.0;
+    for (double& v : virial) v = 0.0;
+  }
+};
+
+}  // namespace mlk

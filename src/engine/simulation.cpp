@@ -1,0 +1,165 @@
+#include "engine/simulation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+Simulation::Simulation() { units = Units::make("lj"); }
+
+void Simulation::set_units(const std::string& which) {
+  units = Units::make(which);
+  dt = units.dt_default;
+  neighbor.skin = units.skin_default;
+}
+
+double Simulation::allreduce_sum(double v) {
+  return mpi ? mpi->allreduce_sum(v) : v;
+}
+
+bigint Simulation::allreduce_sum(bigint v) {
+  return mpi ? mpi->allreduce_sum(v) : v;
+}
+
+bigint Simulation::global_natoms() {
+  return allreduce_sum(bigint(atom.nlocal));
+}
+
+void Simulation::rebuild_neighbors() {
+  ScopedTimer t(timers, "Neigh");
+  atom.clear_ghosts();
+  comm.exchange(atom, domain);
+  comm.borders(atom, domain);
+  neighbor.build(atom, domain);
+  neighbor.store_build_positions(atom);
+}
+
+void Simulation::setup() {
+  require(pair != nullptr, "no pair style defined");
+  require(atom.nlocal > 0 || mpi != nullptr, "no atoms created");
+
+  comm.mpi = mpi;  // serial when no simmpi communicator is attached
+  pair->init(*this);
+  neighbor.cutoff = pair->cutoff();
+  neighbor.style = pair->neigh_style();
+  neighbor.ghost_rows = pair->ghost_rows_needed();
+  neighbor.newton =
+      newton_override >= 0 ? newton_override != 0 : pair->newton();
+  comm.cutghost = neighbor.cutghost();
+  comm.setup(domain);
+
+  for (auto& fix : fixes) {
+    if (!fix->init_done) {
+      fix->init(*this);
+      fix->init_done = true;
+    }
+  }
+
+  rebuild_neighbors();
+  compute_forces(/*eflag=*/true);
+  setup_done = true;
+}
+
+void Simulation::compute_forces(bool eflag) {
+  ScopedTimer t(timers, "Pair");
+  // Zero forces in the pair style's execution space over owned + ghosts.
+  if (pair->execution_space == ExecSpaceKind::Device)
+    atom.zero_forces<kk::Device>();
+  else
+    atom.zero_forces<kk::Host>();
+
+  pair->compute(*this, eflag);
+
+  // Ghost forces fold back onto their owners: half lists exploiting
+  // Newton's third law, plus any style that writes ghost forces directly.
+  if ((neighbor.style == NeighStyle::Half && neighbor.newton) ||
+      pair->needs_reverse_comm) {
+    ScopedTimer tc(timers, "Comm");
+    comm.reverse_forces(atom);
+  }
+  for (auto& fix : fixes) fix->post_force(*this);
+}
+
+void Simulation::run(bigint nsteps) {
+  if (!setup_done) setup();
+  // Fixes added by the script since the last run still need initializing.
+  for (auto& fix : fixes) {
+    if (!fix->init_done) {
+      fix->init(*this);
+      fix->init_done = true;
+    }
+  }
+  Verlet(*this).run(nsteps);
+}
+
+double Simulation::kinetic_energy() {
+  atom.sync<kk::Host>(V_MASK | TYPE_MASK);
+  const auto v = atom.k_v.h_view;
+  const auto type = atom.k_type.h_view;
+  double ke = 0.0;
+  for (localint i = 0; i < atom.nlocal; ++i) {
+    const double m = atom.mass_of_type(type(std::size_t(i)));
+    ke += m * (v(std::size_t(i), 0) * v(std::size_t(i), 0) +
+               v(std::size_t(i), 1) * v(std::size_t(i), 1) +
+               v(std::size_t(i), 2) * v(std::size_t(i), 2));
+  }
+  return 0.5 * units.mvv2e * allreduce_sum(ke);
+}
+
+double Simulation::temperature() {
+  const bigint n = global_natoms();
+  if (n == 0) return 0.0;
+  const double dof = 3.0 * double(n);
+  return 2.0 * kinetic_energy() / (dof * units.boltz);
+}
+
+double Simulation::potential_energy() {
+  return allreduce_sum(pair->eng_vdwl + pair->eng_coul);
+}
+
+double Simulation::pressure() {
+  const bigint n = global_natoms();
+  const double vol = domain.volume();
+  const double t = temperature();
+  double vsum = 0.0;
+  for (int k = 0; k < 3; ++k) vsum += pair->virial[k];
+  vsum = allreduce_sum(vsum);
+  return (double(n) * units.boltz * t + vsum / 3.0) / vol * units.nktv2p;
+}
+
+void Verlet::run(bigint nsteps) {
+  Simulation& sim = sim_;
+  sim.thermo.header();
+  sim.thermo.record(sim);
+
+  for (bigint step = 0; step < nsteps; ++step) {
+    ++sim.ntimestep;
+
+    for (auto& fix : sim.fixes) fix->initial_integrate(sim);
+
+    // Neighbor list maintenance. The decision must be *global*: if any rank
+    // rebuilds (entering the exchange/borders message pattern) all must.
+    bool rebuild = false;
+    if (sim.ntimestep % std::max(1, sim.neighbor.every) == 0)
+      rebuild = !sim.neighbor.check || sim.neighbor.check_distance(sim.atom);
+    if (sim.mpi) rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
+    if (rebuild) {
+      sim.rebuild_neighbors();
+    } else {
+      ScopedTimer t(sim.timers, "Comm");
+      sim.comm.forward_positions(sim.atom);
+    }
+
+    const bool thermo_step =
+        sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
+    sim.compute_forces(thermo_step || step == nsteps - 1);
+
+    for (auto& fix : sim.fixes) fix->final_integrate(sim);
+    for (auto& fix : sim.fixes) fix->end_of_step(sim);
+
+    if (thermo_step || step == nsteps - 1) sim.thermo.record(sim);
+  }
+}
+
+}  // namespace mlk

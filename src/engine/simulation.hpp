@@ -1,0 +1,91 @@
+// Simulation — the top-level container tying together atoms, domain,
+// neighbor lists, communication, the pair style, fixes, and thermo output.
+// Equivalent to the LAMMPS class of the same role; one instance per rank.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "engine/atom.hpp"
+#include "engine/comm_pair.hpp"
+#include "engine/compute.hpp"
+#include "engine/domain.hpp"
+#include "engine/fix.hpp"
+#include "engine/neighbor.hpp"
+#include "engine/pair.hpp"
+#include "engine/thermo.hpp"
+#include "engine/units.hpp"
+#include "util/timer.hpp"
+
+namespace mlk {
+
+class Simulation {
+ public:
+  Simulation();
+
+  Units units;
+  double dt = 0.005;
+  bigint ntimestep = 0;
+
+  Atom atom;
+  Domain domain;
+  Neighbor neighbor;
+  CommBrick comm;
+  std::unique_ptr<Pair> pair;
+  std::vector<std::unique_ptr<Fix>> fixes;
+  Thermo thermo;
+  TimerSet timers;
+
+  /// Non-owning; null in serial runs.
+  simmpi::Comm* mpi = nullptr;
+
+  /// What an unsuffixed style resolves to when the global suffix is active
+  /// ("" = plain host styles; "kk" = Kokkos device; "kk/host").
+  std::string global_suffix;
+
+  /// Input-script newton override: -1 = use the pair style's preference.
+  int newton_override = -1;
+
+  void set_units(const std::string& which);
+
+  /// Prepare for a run: decide neighbor settings from the pair style,
+  /// build ghosts and the first neighbor list, evaluate initial forces.
+  void setup();
+
+  /// Velocity-Verlet time integration for nsteps (requires setup()).
+  void run(bigint nsteps);
+
+  /// Evaluate forces for the current configuration (zeroes, pair->compute,
+  /// reverse communication when the list exploits Newton's third law).
+  void compute_forces(bool eflag);
+
+  // --- global diagnostics (allreduced across ranks when mpi is set) ---
+  bigint global_natoms();
+  double kinetic_energy();
+  double temperature();
+  double potential_energy();
+  double pressure();
+
+  double allreduce_sum(double v);
+  bigint allreduce_sum(bigint v);
+
+  bool setup_done = false;
+
+ private:
+  friend class Verlet;
+  void rebuild_neighbors();
+};
+
+/// Velocity-Verlet driver (LAMMPS's Verlet integrate style).
+class Verlet {
+ public:
+  explicit Verlet(Simulation& sim) : sim_(sim) {}
+  void run(bigint nsteps);
+
+ private:
+  Simulation& sim_;
+};
+
+}  // namespace mlk

@@ -1,0 +1,106 @@
+#include "engine/style_registry.hpp"
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+StyleRegistry& StyleRegistry::instance() {
+  static StyleRegistry reg;
+  return reg;
+}
+
+void StyleRegistry::add_pair(const std::string& name, PairCreator c) {
+  pairs_[name] = {std::move(c), false};
+}
+
+void StyleRegistry::add_pair_kokkos(const std::string& base, PairCreator c) {
+  pairs_[base + "/kk"] = {std::move(c), true};
+}
+
+void StyleRegistry::add_fix(const std::string& name, FixCreator c) {
+  fixes_[name] = {std::move(c), false};
+}
+
+void StyleRegistry::add_fix_kokkos(const std::string& base, FixCreator c) {
+  fixes_[base + "/kk"] = {std::move(c), true};
+}
+
+void StyleRegistry::add_compute(const std::string& name, ComputeCreator c) {
+  computes_[name] = std::move(c);
+}
+
+namespace {
+
+/// Resolve a possibly suffixed name to (registered key, exec space).
+/// "lj/cut"           -> ("lj/cut", Host) or ("lj/cut/kk", space) w/ global sfx
+/// "lj/cut/kk"        -> ("lj/cut/kk", Device)
+/// "lj/cut/kk/host"   -> ("lj/cut/kk", Host)
+/// "lj/cut/kk/device" -> ("lj/cut/kk", Device)
+template <class Map>
+std::pair<std::string, ExecSpaceKind> resolve(const Map& map,
+                                              const std::string& name,
+                                              const std::string& global_suffix,
+                                              const char* what) {
+  std::string sfx;
+  const std::string base = strip_style_suffix(name, &sfx);
+  if (!sfx.empty()) {
+    const std::string key = base + "/kk";
+    require(map.count(key) != 0,
+            std::string(what) + " style '" + key + "' not registered");
+    return {key, sfx == "/kk/host" ? ExecSpaceKind::Host
+                                   : ExecSpaceKind::Device};
+  }
+  // Unsuffixed: honor the global suffix when a Kokkos variant exists.
+  if (!global_suffix.empty()) {
+    const std::string key = base + "/kk";
+    if (map.count(key)) {
+      return {key, global_suffix == "kk/host" || global_suffix == "host"
+                       ? ExecSpaceKind::Host
+                       : ExecSpaceKind::Device};
+    }
+  }
+  require(map.count(base) != 0,
+          std::string(what) + " style '" + base + "' not registered");
+  return {base, ExecSpaceKind::Host};
+}
+
+}  // namespace
+
+std::unique_ptr<Pair> StyleRegistry::create_pair(
+    const std::string& name, const std::string& global_suffix) {
+  auto [key, space] = resolve(pairs_, name, global_suffix, "pair");
+  auto p = pairs_.at(key).create(space);
+  p->style_name = key == name ? name : key;
+  return p;
+}
+
+std::unique_ptr<Fix> StyleRegistry::create_fix(
+    const std::string& name, const std::string& global_suffix) {
+  auto [key, space] = resolve(fixes_, name, global_suffix, "fix");
+  auto f = fixes_.at(key).create(space);
+  f->style_name = key;
+  return f;
+}
+
+std::unique_ptr<Compute> StyleRegistry::create_compute(
+    const std::string& name) {
+  require(computes_.count(name) != 0,
+          "compute style '" + name + "' not registered");
+  auto c = computes_.at(name)();
+  c->style_name = name;
+  return c;
+}
+
+bool StyleRegistry::has_pair(const std::string& name) const {
+  return pairs_.count(name) != 0;
+}
+
+std::vector<std::string> StyleRegistry::pair_names() const {
+  std::vector<std::string> out;
+  out.reserve(pairs_.size());
+  for (const auto& [k, v] : pairs_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mlk

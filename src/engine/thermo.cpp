@@ -1,0 +1,31 @@
+#include "engine/thermo.hpp"
+
+#include <cstdio>
+
+#include "engine/simulation.hpp"
+
+namespace mlk {
+
+void Thermo::header() const {
+  if (!print) return;
+  std::printf("%10s %12s %14s %14s %14s %12s\n", "Step", "Temp", "PotEng",
+              "KinEng", "TotEng", "Press");
+}
+
+void Thermo::record(Simulation& sim) {
+  ThermoRow row;
+  row.step = sim.ntimestep;
+  row.temp = sim.temperature();
+  row.pe = sim.potential_energy();
+  row.ke = sim.kinetic_energy();
+  row.etotal = row.pe + row.ke;
+  row.press = sim.pressure();
+  rows_.push_back(row);
+  const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
+  if (print && is_rank0)
+    std::printf("%10lld %12.6g %14.8g %14.8g %14.8g %12.6g\n",
+                static_cast<long long>(row.step), row.temp, row.pe, row.ke,
+                row.etotal, row.press);
+}
+
+}  // namespace mlk

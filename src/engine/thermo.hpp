@@ -1,0 +1,39 @@
+// Thermo output: periodic rows of step / temperature / energies / pressure,
+// printed like LAMMPS and retained in memory so tests and benches can make
+// assertions about conservation and trajectories.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+struct ThermoRow {
+  bigint step = 0;
+  double temp = 0.0;
+  double pe = 0.0;
+  double ke = 0.0;
+  double etotal = 0.0;
+  double press = 0.0;
+};
+
+class Thermo {
+ public:
+  bigint every = 100;   // output interval (0 = only first/last)
+  bool print = true;    // write to stdout (rank 0 only)
+
+  void header() const;
+  /// Evaluate and record a row for the current step.
+  void record(Simulation& sim);
+
+  const std::vector<ThermoRow>& rows() const { return rows_; }
+  void clear() { rows_.clear(); }
+
+ private:
+  std::vector<ThermoRow> rows_;
+};
+
+}  // namespace mlk

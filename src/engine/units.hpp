@@ -1,0 +1,51 @@
+// Unit systems (LAMMPS conventions).
+//
+//  lj    — reduced units: eps = sigma = mass = kB = 1.
+//  metal — eV, Angstrom, ps, atomic mass units (SNAP, EAM).
+//  real  — kcal/mol, Angstrom, fs, amu (ReaxFF).
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+struct Units {
+  std::string name = "lj";
+  double boltz = 1.0;    // kB in energy units
+  double mvv2e = 1.0;    // m*v^2 -> energy conversion
+  double ftm2v = 1.0;    // force/mass*time -> velocity conversion
+  double nktv2p = 1.0;   // N*kB*T/V -> pressure conversion
+  double dt_default = 0.005;
+  double skin_default = 0.3;
+
+  static Units make(const std::string& which) {
+    Units u;
+    u.name = which;
+    if (which == "lj") {
+      // all 1.0 defaults
+      u.dt_default = 0.005;
+      u.skin_default = 0.3;
+    } else if (which == "metal") {
+      u.boltz = 8.617343e-5;        // eV/K
+      u.mvv2e = 1.0364269e-4;       // amu*(A/ps)^2 -> eV
+      u.ftm2v = 1.0 / 1.0364269e-4; // eV/A / amu * ps -> A/ps
+      u.nktv2p = 1.6021765e6;       // eV/A^3 -> bar
+      u.dt_default = 0.001;
+      u.skin_default = 2.0;
+    } else if (which == "real") {
+      u.boltz = 0.0019872067;                // kcal/mol/K
+      u.mvv2e = 48.88821291 * 48.88821291;   // g/mol*(A/fs)^2 -> kcal/mol
+      u.ftm2v = 1.0 / (48.88821291 * 48.88821291);
+      u.nktv2p = 68568.415;  // kcal/mol/A^3 -> atm
+      u.dt_default = 1.0;
+      u.skin_default = 2.0;
+    } else {
+      fatal("unknown units '" + which + "'");
+    }
+    return u;
+  }
+};
+
+}  // namespace mlk

@@ -1,0 +1,51 @@
+#include "minilammps.hpp"
+
+namespace mlk {
+
+// Registration hooks exported by each style translation unit.
+void register_fix_nve();
+void register_fix_langevin();
+void register_compute_temp();
+void register_compute_pressure();
+void register_pair_lj_cut();
+void register_pair_lj_cut_kokkos();
+void register_pair_eam();
+void register_pair_eam_kokkos();
+void register_pair_table();
+void register_pair_snap();
+void register_pair_snap_kokkos();
+void register_pair_reaxff_lite();
+void register_pair_lj_cut_coul_cut();
+void register_fix_nvt();
+void register_compute_rdf();
+void register_dump_xyz();
+void register_pair_external();
+void register_compute_snap_bispectrum();
+void register_fix_langevin_kokkos();
+
+void init_all() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  register_fix_nve();
+  register_fix_langevin();
+  register_compute_temp();
+  register_compute_pressure();
+  register_pair_lj_cut();
+  register_pair_lj_cut_kokkos();
+  register_pair_eam();
+  register_pair_eam_kokkos();
+  register_pair_table();
+  register_pair_snap();
+  register_pair_snap_kokkos();
+  register_pair_reaxff_lite();
+  register_pair_lj_cut_coul_cut();
+  register_fix_nvt();
+  register_compute_rdf();
+  register_dump_xyz();
+  register_pair_external();
+  register_compute_snap_bispectrum();
+  register_fix_langevin_kokkos();
+}
+
+}  // namespace mlk

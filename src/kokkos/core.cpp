@@ -1,0 +1,63 @@
+#include "kokkos/profiling.hpp"
+
+#include <mutex>
+
+namespace kk::profiling {
+
+namespace {
+std::mutex g_mu;
+std::map<std::string, LaunchStat> g_stats;
+std::uint64_t g_total = 0;
+std::uint64_t g_total_device = 0;
+bool g_enabled = true;
+}  // namespace
+
+bool set_enabled(bool on) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  const bool prev = g_enabled;
+  g_enabled = on;
+  return prev;
+}
+
+bool enabled() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_enabled;
+}
+
+void record_launch(const std::string& name, bool is_device,
+                   std::uint64_t items) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_enabled) return;
+  auto& s = g_stats[name];
+  s.launches++;
+  s.total_items += items;
+  g_total++;
+  if (is_device) {
+    s.device_launches++;
+    g_total_device++;
+  }
+}
+
+std::map<std::string, LaunchStat> snapshot() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_stats;
+}
+
+std::uint64_t total_launches() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_total;
+}
+
+std::uint64_t total_device_launches() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_total_device;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_stats.clear();
+  g_total = 0;
+  g_total_device = 0;
+}
+
+}  // namespace kk::profiling

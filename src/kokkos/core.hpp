@@ -1,0 +1,302 @@
+// minikokkos execution patterns: parallel_for / parallel_reduce /
+// parallel_scan over RangePolicy and MDRangePolicy, plus atomic helpers and
+// kernel-launch profiling hooks consumed by the performance model.
+//
+// Host space executes serially on the calling thread (the "one MPI rank per
+// core" CPU model of the paper); Device space dispatches to the thread pool
+// with GPU-like semantics (unordered work items, atomics required for
+// write conflicts).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "kokkos/profiling.hpp"
+#include "kokkos/threadpool.hpp"
+#include "kokkos/view.hpp"
+
+namespace kk {
+
+inline void fence() {}  // pool dispatches are synchronous; kept for fidelity
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+template <class Space = DefaultExecutionSpace>
+struct RangePolicy {
+  using space = Space;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  RangePolicy(std::size_t b, std::size_t e) : begin(b), end(e) {}
+  explicit RangePolicy(std::size_t e) : begin(0), end(e) {}
+};
+
+/// Rank-2 / rank-3 multidimensional iteration with tiling, used by the SNAP
+/// tiled traversals (§4.3.2). Iteration order: tiles in row-major order of
+/// the tile grid; within a tile, row-major. The *first* policy dimension is
+/// distributed over threads on Device.
+template <class Space = DefaultExecutionSpace, int Rank = 2>
+struct MDRangePolicy {
+  using space = Space;
+  static constexpr int rank = Rank;
+  std::size_t lower[Rank] = {};
+  std::size_t upper[Rank] = {};
+  std::size_t tile[Rank] = {};
+  MDRangePolicy(std::initializer_list<std::size_t> up,
+                std::initializer_list<std::size_t> tiles = {}) {
+    int r = 0;
+    for (auto u : up) upper[r++] = u;
+    r = 0;
+    for (auto t : tiles) tile[r++] = t;
+    for (int i = 0; i < Rank; ++i)
+      if (tile[i] == 0) tile[i] = upper[i] > lower[i] ? upper[i] - lower[i] : 1;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reducers
+// ---------------------------------------------------------------------------
+
+template <class T>
+struct Sum {
+  using value_type = T;
+  T& ref;
+  explicit Sum(T& r) : ref(r) {}
+  static void init(T& v) { v = T(0); }
+  static void join(T& a, const T& b) { a += b; }
+};
+
+template <class T>
+struct Max {
+  using value_type = T;
+  T& ref;
+  explicit Max(T& r) : ref(r) {}
+  static void init(T& v) { v = std::numeric_limits<T>::lowest(); }
+  static void join(T& a, const T& b) {
+    if (b > a) a = b;
+  }
+};
+
+template <class T>
+struct Min {
+  using value_type = T;
+  T& ref;
+  explicit Min(T& r) : ref(r) {}
+  static void init(T& v) { v = std::numeric_limits<T>::max(); }
+  static void join(T& a, const T& b) {
+    if (b < a) a = b;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+template <class Space, class F>
+void parallel_for(const std::string& name, RangePolicy<Space> p, const F& f) {
+  const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
+  profiling::record_launch(name, Space::is_device, n);
+  if (n == 0) return;
+  if constexpr (Space::is_device) {
+    ThreadPool::instance().parallel(
+        n, [&](std::size_t b, std::size_t e, int /*rank*/) {
+          for (std::size_t i = b; i < e; ++i) f(p.begin + i);
+        });
+  } else {
+    for (std::size_t i = p.begin; i < p.end; ++i) f(i);
+  }
+}
+
+template <class F>
+void parallel_for(const std::string& name, std::size_t n, const F& f) {
+  parallel_for(name, RangePolicy<DefaultExecutionSpace>(n), f);
+}
+
+template <class Space, int Rank, class F>
+void parallel_for(const std::string& name, MDRangePolicy<Space, Rank> p,
+                  const F& f) {
+  static_assert(Rank == 2 || Rank == 3);
+  std::size_t span[Rank], ntile[Rank];
+  std::size_t total_tiles = 1;
+  for (int r = 0; r < Rank; ++r) {
+    span[r] = p.upper[r] - p.lower[r];
+    ntile[r] = (span[r] + p.tile[r] - 1) / p.tile[r];
+    if (ntile[r] == 0) ntile[r] = 1;
+    total_tiles *= ntile[r];
+  }
+  std::size_t items = 1;
+  for (int r = 0; r < Rank; ++r) items *= span[r];
+  profiling::record_launch(name, Space::is_device, items);
+  if (items == 0) return;
+
+  auto run_tile = [&](std::size_t t) {
+    std::size_t tc[Rank];
+    std::size_t rem = t;
+    for (int r = Rank - 1; r >= 0; --r) {
+      tc[r] = rem % ntile[r];
+      rem /= ntile[r];
+    }
+    std::size_t lo[Rank], hi[Rank];
+    for (int r = 0; r < Rank; ++r) {
+      lo[r] = p.lower[r] + tc[r] * p.tile[r];
+      hi[r] = lo[r] + p.tile[r];
+      if (hi[r] > p.upper[r]) hi[r] = p.upper[r];
+    }
+    if constexpr (Rank == 2) {
+      for (std::size_t i = lo[0]; i < hi[0]; ++i)
+        for (std::size_t j = lo[1]; j < hi[1]; ++j) f(i, j);
+    } else {
+      for (std::size_t i = lo[0]; i < hi[0]; ++i)
+        for (std::size_t j = lo[1]; j < hi[1]; ++j)
+          for (std::size_t k = lo[2]; k < hi[2]; ++k) f(i, j, k);
+    }
+  };
+
+  if constexpr (Space::is_device) {
+    ThreadPool::instance().parallel(
+        total_tiles, [&](std::size_t b, std::size_t e, int) {
+          for (std::size_t t = b; t < e; ++t) run_tile(t);
+        });
+  } else {
+    for (std::size_t t = 0; t < total_tiles; ++t) run_tile(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce
+// ---------------------------------------------------------------------------
+
+template <class Space, class F, class Reducer>
+void parallel_reduce_impl(const std::string& name, RangePolicy<Space> p,
+                          const F& f, Reducer red) {
+  using T = typename Reducer::value_type;
+  const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
+  profiling::record_launch(name, Space::is_device, n);
+  T result;
+  Reducer::init(result);
+  if constexpr (Space::is_device) {
+    const int nmax = ThreadPool::instance().concurrency();
+    std::vector<T> partial;
+    partial.resize(std::size_t(nmax));
+    for (auto& v : partial) Reducer::init(v);
+    ThreadPool::instance().parallel(
+        n, [&](std::size_t b, std::size_t e, int rank) {
+          T local;
+          Reducer::init(local);
+          for (std::size_t i = b; i < e; ++i) f(p.begin + i, local);
+          Reducer::join(partial[std::size_t(rank)], local);
+        });
+    for (const auto& v : partial) Reducer::join(result, v);
+  } else {
+    for (std::size_t i = p.begin; i < p.end; ++i) f(i, result);
+  }
+  red.ref = result;
+}
+
+/// Sum-reduction form: f(i, T& update).
+template <class Space, class F, class T>
+void parallel_reduce(const std::string& name, RangePolicy<Space> p, const F& f,
+                     T& sum) {
+  parallel_reduce_impl(name, p, f, Sum<T>(sum));
+}
+
+template <class Space, class F, class T>
+void parallel_reduce(const std::string& name, RangePolicy<Space> p, const F& f,
+                     Max<T> red) {
+  parallel_reduce_impl(name, p, f, red);
+}
+
+template <class Space, class F, class T>
+void parallel_reduce(const std::string& name, RangePolicy<Space> p, const F& f,
+                     Min<T> red) {
+  parallel_reduce_impl(name, p, f, red);
+}
+
+template <class F, class T>
+void parallel_reduce(const std::string& name, std::size_t n, const F& f,
+                     T& sum) {
+  parallel_reduce(name, RangePolicy<DefaultExecutionSpace>(n), f, sum);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_scan (exclusive prefix sum semantics, Kokkos convention:
+// f(i, update, final) sees `update` = sum of values for indices < i when
+// `final` is true, and must add its own value to `update`.)
+// ---------------------------------------------------------------------------
+
+template <class Space, class F, class T>
+void parallel_scan(const std::string& name, RangePolicy<Space> p, const F& f,
+                   T& total) {
+  const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
+  profiling::record_launch(name, Space::is_device, n);
+  if (n == 0) {
+    total = T(0);
+    return;
+  }
+  if constexpr (Space::is_device) {
+    auto& pool = ThreadPool::instance();
+    const int nmax = pool.concurrency();
+    std::vector<T> chunk_sum(std::size_t(nmax) + 1, T(0));
+    // Pass 1: per-chunk partial sums. Chunk boundaries must match pass 2, so
+    // compute them identically from pool size.
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.resize(std::size_t(nmax));
+    pool.parallel(n, [&](std::size_t b, std::size_t e, int rank) {
+      ranges[std::size_t(rank)] = {b, e};
+      T local = T(0);
+      for (std::size_t i = b; i < e; ++i) f(p.begin + i, local, false);
+      chunk_sum[std::size_t(rank) + 1] = local;
+    });
+    for (int r = 0; r < nmax; ++r) chunk_sum[r + 1] += chunk_sum[r];
+    // Pass 2: final scan with chunk offsets.
+    pool.parallel(n, [&](std::size_t b, std::size_t e, int rank) {
+      T local = chunk_sum[std::size_t(rank)];
+      (void)b;
+      (void)e;
+      auto [rb, re] = ranges[std::size_t(rank)];
+      for (std::size_t i = rb; i < re; ++i) f(p.begin + i, local, true);
+    });
+    total = chunk_sum[std::size_t(nmax)];
+  } else {
+    T local = T(0);
+    for (std::size_t i = p.begin; i < p.end; ++i) f(i, local, true);
+    total = local;
+  }
+}
+
+template <class F, class T>
+void parallel_scan(const std::string& name, std::size_t n, const F& f,
+                   T& total) {
+  parallel_scan(name, RangePolicy<DefaultExecutionSpace>(n), f, total);
+}
+
+// ---------------------------------------------------------------------------
+// Atomics (C++20 atomic_ref over plain storage, as GPU atomics over global
+// memory). Counted via profiling so the perf model can price atomic traffic.
+// ---------------------------------------------------------------------------
+
+template <class T>
+inline void atomic_add(T* addr, T val) {
+  std::atomic_ref<T>(*addr).fetch_add(val, std::memory_order_relaxed);
+}
+
+template <class T>
+inline T atomic_fetch_add(T* addr, T val) {
+  return std::atomic_ref<T>(*addr).fetch_add(val, std::memory_order_relaxed);
+}
+
+template <class T>
+inline void atomic_max(T* addr, T val) {
+  std::atomic_ref<T> a(*addr);
+  T cur = a.load(std::memory_order_relaxed);
+  while (val > cur &&
+         !a.compare_exchange_weak(cur, val, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace kk

@@ -1,0 +1,122 @@
+// kk::DualView — paired host/device views with modify/sync tracking (§3.2).
+//
+// The host view is always LayoutRight so that legacy pointer-based LAMMPS
+// code can alias its allocation (x[i][0..2] row-major); the device view uses
+// the Device default layout (LayoutLeft), so syncing really transposes, just
+// as a GPU Kokkos build transposes between CPU mirrors and coalesced device
+// arrays. `sync<Space>()` is a no-op unless the *other* space holds newer
+// data — callers simply declare what they touch, no global knowledge of
+// transfer patterns is needed (the flag mechanism the paper describes).
+#pragma once
+
+#include "kokkos/view.hpp"
+
+namespace kk {
+
+template <class T, int Rank>
+class DualView {
+ public:
+  using host_view_type = View<T, Rank, LayoutRight>;
+  using device_view_type = View<T, Rank, typename Device::default_layout>;
+
+  DualView() = default;
+
+  explicit DualView(std::string label, std::size_t n0 = 0, std::size_t n1 = 0,
+                    std::size_t n2 = 0, std::size_t n3 = 0)
+      : h_view(label + "::host", n0, n1, n2, n3),
+        d_view(label + "::device", n0, n1, n2, n3) {}
+
+  template <class Space>
+  auto view() const {
+    if constexpr (Space::is_device)
+      return d_view;
+    else
+      return h_view;
+  }
+
+  /// Declare that the Space copy has been modified (is now the newest).
+  template <class Space>
+  void modify() {
+    if constexpr (Space::is_device)
+      device_modified_ = true;
+    else
+      host_modified_ = true;
+  }
+
+  /// True if the other space has newer data than Space.
+  template <class Space>
+  bool need_sync() const {
+    if constexpr (Space::is_device)
+      return host_modified_;
+    else
+      return device_modified_;
+  }
+
+  /// Bring the Space copy up to date; transfers (and counts a transfer)
+  /// only when actually stale.
+  template <class Space>
+  void sync() {
+    if constexpr (Space::is_device) {
+      if (host_modified_) {
+        deep_copy(d_view, h_view);
+        host_modified_ = false;
+        ++transfer_count_;
+      }
+    } else {
+      if (device_modified_) {
+        deep_copy(h_view, d_view);
+        device_modified_ = false;
+        ++transfer_count_;
+      }
+    }
+  }
+
+  /// Number of actual host<->device copies performed (test/bench hook: the
+  /// paper's claim is that flag-driven sync eliminates redundant transfers).
+  std::size_t transfer_count() const { return transfer_count_; }
+
+  std::size_t extent(int r) const { return h_view.extent(r); }
+
+  bool is_allocated() const { return h_view.is_allocated(); }
+
+  /// Discard contents, reallocate both copies, clear flags.
+  void realloc(std::size_t n0, std::size_t n1 = 0, std::size_t n2 = 0,
+               std::size_t n3 = 0) {
+    h_view.realloc(n0, n1, n2, n3);
+    d_view.realloc(n0, n1, n2, n3);
+    host_modified_ = device_modified_ = false;
+  }
+
+  /// Grow/shrink the leading extent preserving contents of the up-to-date
+  /// copy, then mark that copy modified so the other will sync.
+  void resize_preserve(std::size_t n0) {
+    if (device_modified_ && !host_modified_) {
+      d_view.resize_preserve(n0);
+      View<T, Rank, LayoutRight> nh(h_view.label(), n0,
+                                    Rank > 1 ? h_view.extent(1) : 0,
+                                    Rank > 2 ? h_view.extent(2) : 0,
+                                    Rank > 3 ? h_view.extent(3) : 0);
+      h_view = nh;
+    } else {
+      h_view.resize_preserve(n0);
+      device_view_type nd(d_view.label(), n0, Rank > 1 ? d_view.extent(1) : 0,
+                          Rank > 2 ? d_view.extent(2) : 0,
+                          Rank > 3 ? d_view.extent(3) : 0);
+      d_view = nd;
+      if (host_modified_ || !device_modified_) {
+        // host copy is authoritative: refresh device
+        deep_copy(d_view, h_view);
+      }
+    }
+  }
+
+  host_view_type h_view;
+  device_view_type d_view;
+
+ private:
+  bool host_modified_ = false;
+  bool device_modified_ = false;
+  std::size_t transfer_count_ = 0;
+};
+
+}  // namespace kk

@@ -1,0 +1,38 @@
+// Kernel-launch profiling registry.
+//
+// Every parallel dispatch records (name, space, iteration count). The
+// performance model (src/perfmodel) consumes these counts to price kernel
+// launch latency and exposed parallelism per architecture, which is what
+// produces the small-system latency limit of the paper's Fig. 4 and the
+// deep-strong-scaling divergence of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kk::profiling {
+
+struct LaunchStat {
+  std::uint64_t launches = 0;
+  std::uint64_t device_launches = 0;
+  std::uint64_t total_items = 0;
+};
+
+/// Enable/disable collection (enabled by default; negligible cost because
+/// dispatches are coarse). Returns the previous state.
+bool set_enabled(bool on);
+bool enabled();
+
+void record_launch(const std::string& name, bool is_device, std::uint64_t items);
+
+/// Snapshot of all stats since the last reset, keyed by kernel name.
+std::map<std::string, LaunchStat> snapshot();
+
+/// Aggregate counters since last reset.
+std::uint64_t total_launches();
+std::uint64_t total_device_launches();
+
+void reset();
+
+}  // namespace kk::profiling

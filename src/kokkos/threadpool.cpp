@@ -1,0 +1,116 @@
+#include "kokkos/threadpool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kk {
+
+namespace {
+thread_local int t_rank = 0;
+thread_local bool t_in_parallel = false;
+
+int pool_size_from_env() {
+  if (const char* s = std::getenv("MLK_NUM_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : int(hc);
+}
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(pool_size_from_env() - 1);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int nworkers) {
+  workers_.reserve(std::size_t(std::max(nworkers, 0)));
+  for (int r = 0; r < nworkers; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::this_thread_rank() { return t_rank; }
+
+void ThreadPool::parallel(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, int)>& body) {
+  if (n == 0) return;
+
+  // Nested dispatch: run inline on this participant to avoid deadlock.
+  if (t_in_parallel || workers_.empty()) {
+    const bool was = t_in_parallel;
+    t_in_parallel = true;
+    body(0, n, t_rank);
+    t_in_parallel = was;
+    return;
+  }
+
+  const int nparts = std::min<std::size_t>(std::size_t(size()), n) > 0
+                         ? int(std::min<std::size_t>(std::size_t(size()), n))
+                         : 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_.body = &body;
+    job_.n = n;
+    job_.nparts = nparts;
+    pending_ = nparts - 1;  // caller handles part 0
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  // Caller executes chunk 0.
+  t_in_parallel = true;
+  t_rank = 0;
+  const std::size_t chunk = (n + std::size_t(nparts) - 1) / std::size_t(nparts);
+  body(0, std::min(chunk, n), 0);
+  t_in_parallel = false;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+  job_.body = nullptr;
+}
+
+void ThreadPool::worker_loop(int rank) {
+  t_rank = rank;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, int)>* body = nullptr;
+    std::size_t n = 0;
+    int nparts = 1;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      body = job_.body;
+      n = job_.n;
+      nparts = job_.nparts;
+    }
+    if (body && rank < nparts) {
+      const std::size_t chunk =
+          (n + std::size_t(nparts) - 1) / std::size_t(nparts);
+      const std::size_t b = std::min(n, chunk * std::size_t(rank));
+      const std::size_t e = std::min(n, b + chunk);
+      t_in_parallel = true;
+      if (b < e) (*body)(b, e, rank);
+      t_in_parallel = false;
+    }
+    if (rank < nparts) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace kk

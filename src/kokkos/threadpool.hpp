@@ -1,0 +1,64 @@
+// Persistent worker-thread pool backing the kk::Device execution space.
+//
+// The pool plays the role a GPU runtime plays for real Kokkos: kernels are
+// dispatched to it as blocked index ranges, and each worker has a stable
+// rank used by ScatterView data duplication and per-team scratch allocation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kk {
+
+class ThreadPool {
+ public:
+  /// Global pool. Size = MLK_NUM_THREADS env var if set, else
+  /// hardware_concurrency (min 1). Created on first use.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return int(workers_.size()) + 1; }  // workers + caller
+
+  /// Execute `body(begin, end, rank)` over [0, n) split into one contiguous
+  /// chunk per participant. Blocks until all chunks complete. The calling
+  /// thread executes rank 0. Re-entrant dispatch (from inside a kernel) is
+  /// executed inline on the calling participant.
+  void parallel(std::size_t n,
+                const std::function<void(std::size_t, std::size_t, int)>& body);
+
+  /// Rank of the calling thread within the most recent dispatch (0 if not a
+  /// pool thread). Stable during a kernel; used for duplication buffers.
+  static int this_thread_rank();
+
+  /// Largest number of concurrent participants any dispatch can have.
+  int concurrency() const { return size(); }
+
+ private:
+  explicit ThreadPool(int nworkers);
+
+  void worker_loop(int rank);
+
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, int)>* body = nullptr;
+    std::size_t n = 0;
+    int nparts = 1;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;   // incremented per dispatch
+  int pending_ = 0;           // workers not yet finished with current job
+  bool shutdown_ = false;
+};
+
+}  // namespace kk

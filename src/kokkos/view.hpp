@@ -1,0 +1,218 @@
+// kk::View — the minikokkos multi-dimensional array.
+//
+// Mirrors Kokkos::View semantics that the paper relies on (§3.2):
+//  * reference-counted shared ownership (views are cheap handles),
+//  * compile-time Layout (LayoutRight = C order / host default,
+//    LayoutLeft = Fortran order / device default) so that the same code
+//    transparently gets cache-friendly layouts on CPU and coalescing-friendly
+//    layouts on the simulated GPU,
+//  * interoperability with raw pointers (data()) so legacy array code can
+//    alias a host View, as LAMMPS's AtomVecAtomic does (paper Fig. 1).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace kk {
+
+struct LayoutRight {};  // row-major, last index fastest (host default)
+struct LayoutLeft {};   // column-major, first index fastest (device default)
+
+/// Execution/memory space tags. All memory is physically host DRAM in this
+/// simulation; the tags select default layouts and dispatch backends.
+struct Host {
+  static constexpr bool is_device = false;
+  static const char* name() { return "Host"; }
+  using default_layout = LayoutRight;
+};
+struct Device {
+  static constexpr bool is_device = true;
+  static const char* name() { return "Device"; }
+  using default_layout = LayoutLeft;
+};
+
+using DefaultExecutionSpace = Device;
+using DefaultHostExecutionSpace = Host;
+
+template <class T, int Rank, class Layout = LayoutRight>
+class View {
+  static_assert(Rank >= 1 && Rank <= 4, "View supports rank 1..4");
+
+ public:
+  using value_type = T;
+  using layout = Layout;
+  static constexpr int rank = Rank;
+
+  View() = default;
+
+  /// Allocating constructor; extents beyond Rank must be omitted.
+  explicit View(std::string label, std::size_t n0 = 0, std::size_t n1 = 0,
+                std::size_t n2 = 0, std::size_t n3 = 0)
+      : label_(std::move(label)) {
+    std::size_t e[4] = {n0, n1, n2, n3};
+    for (int r = 0; r < Rank; ++r) ext_[r] = e[r];
+    allocate();
+  }
+
+  const std::string& label() const { return label_; }
+
+  std::size_t extent(int r) const {
+    assert(r >= 0 && r < Rank);
+    return ext_[r];
+  }
+
+  std::size_t size() const {
+    std::size_t s = 1;
+    for (int r = 0; r < Rank; ++r) s *= ext_[r];
+    return s;
+  }
+
+  bool is_allocated() const { return static_cast<bool>(data_); }
+
+  T* data() const { return data_.get(); }
+
+  // ---- element access -------------------------------------------------
+  T& operator()(std::size_t i0) const {
+    static_assert(Rank == 1);
+    assert(i0 < ext_[0]);
+    return data_[i0];
+  }
+  T& operator()(std::size_t i0, std::size_t i1) const {
+    static_assert(Rank == 2);
+    assert(i0 < ext_[0] && i1 < ext_[1]);
+    return data_[i0 * str_[0] + i1 * str_[1]];
+  }
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    static_assert(Rank == 3);
+    assert(i0 < ext_[0] && i1 < ext_[1] && i2 < ext_[2]);
+    return data_[i0 * str_[0] + i1 * str_[1] + i2 * str_[2]];
+  }
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2,
+                std::size_t i3) const {
+    static_assert(Rank == 4);
+    assert(i0 < ext_[0] && i1 < ext_[1] && i2 < ext_[2] && i3 < ext_[3]);
+    return data_[i0 * str_[0] + i1 * str_[1] + i2 * str_[2] + i3 * str_[3]];
+  }
+
+  /// Rank-1 convenience (matches Kokkos operator[]).
+  T& operator[](std::size_t i0) const {
+    static_assert(Rank == 1);
+    return (*this)(i0);
+  }
+
+  /// Reallocate with new extents, discarding contents (Kokkos::realloc).
+  void realloc(std::size_t n0, std::size_t n1 = 0, std::size_t n2 = 0,
+               std::size_t n3 = 0) {
+    std::size_t e[4] = {n0, n1, n2, n3};
+    for (int r = 0; r < Rank; ++r) ext_[r] = e[r];
+    allocate();
+  }
+
+  /// Resize preserving the leading-extent prefix of contents
+  /// (Kokkos::resize for the common grow-the-first-dimension case).
+  void resize_preserve(std::size_t n0) {
+    View other(label_, n0, Rank > 1 ? ext_[1] : 0, Rank > 2 ? ext_[2] : 0,
+               Rank > 3 ? ext_[3] : 0);
+    const std::size_t keep0 = n0 < ext_[0] ? n0 : ext_[0];
+    copy_prefix(other, keep0);
+    *this = other;
+  }
+
+  void fill(const T& v) const {
+    T* p = data_.get();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) p[i] = v;
+  }
+
+ private:
+  void allocate() {
+    compute_strides();
+    const std::size_t n = size();
+    data_ = n ? std::shared_ptr<T[]>(new T[n]()) : nullptr;
+  }
+
+  void compute_strides() {
+    if constexpr (std::is_same_v<Layout, LayoutRight>) {
+      std::size_t s = 1;
+      for (int r = Rank - 1; r >= 0; --r) {
+        str_[r] = s;
+        s *= ext_[r];
+      }
+    } else {
+      std::size_t s = 1;
+      for (int r = 0; r < Rank; ++r) {
+        str_[r] = s;
+        s *= ext_[r];
+      }
+    }
+  }
+
+  void copy_prefix(View& dst, std::size_t keep0) const {
+    if (!data_ || !dst.data_) return;
+    // Element-wise copy over the preserved index space (layouts may differ
+    // in stride pattern once extents change, so memcpy is not safe).
+    if constexpr (Rank == 1) {
+      for (std::size_t i = 0; i < keep0; ++i) dst(i) = (*this)(i);
+    } else if constexpr (Rank == 2) {
+      for (std::size_t i = 0; i < keep0; ++i)
+        for (std::size_t j = 0; j < ext_[1]; ++j) dst(i, j) = (*this)(i, j);
+    } else if constexpr (Rank == 3) {
+      for (std::size_t i = 0; i < keep0; ++i)
+        for (std::size_t j = 0; j < ext_[1]; ++j)
+          for (std::size_t k = 0; k < ext_[2]; ++k)
+            dst(i, j, k) = (*this)(i, j, k);
+    } else {
+      for (std::size_t i = 0; i < keep0; ++i)
+        for (std::size_t j = 0; j < ext_[1]; ++j)
+          for (std::size_t k = 0; k < ext_[2]; ++k)
+            for (std::size_t l = 0; l < ext_[3]; ++l)
+              dst(i, j, k, l) = (*this)(i, j, k, l);
+    }
+  }
+
+  std::shared_ptr<T[]> data_;
+  std::size_t ext_[Rank] = {};
+  std::size_t str_[Rank] = {};
+  std::string label_;
+};
+
+/// deep_copy between views of identical extents (layouts may differ) —
+/// the host<->device transfer primitive underlying DualView::sync.
+template <class T, int Rank, class LA, class LB>
+void deep_copy(const View<T, Rank, LA>& dst, const View<T, Rank, LB>& src) {
+  for (int r = 0; r < Rank; ++r) assert(dst.extent(r) == src.extent(r));
+  if constexpr (Rank == 1) {
+    for (std::size_t i = 0; i < src.extent(0); ++i) dst(i) = src(i);
+  } else if constexpr (Rank == 2) {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j) dst(i, j) = src(i, j);
+  } else if constexpr (Rank == 3) {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j)
+        for (std::size_t k = 0; k < src.extent(2); ++k)
+          dst(i, j, k) = src(i, j, k);
+  } else {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j)
+        for (std::size_t k = 0; k < src.extent(2); ++k)
+          for (std::size_t l = 0; l < src.extent(3); ++l)
+            dst(i, j, k, l) = src(i, j, k, l);
+  }
+}
+
+template <class T, int Rank, class L>
+void deep_copy(const View<T, Rank, L>& dst, const T& value) {
+  dst.fill(value);
+}
+
+// Space-defaulted aliases used across the codebase.
+template <class T, class Space = DefaultExecutionSpace>
+using View1D = View<T, 1, typename Space::default_layout>;
+template <class T, class Space = DefaultExecutionSpace>
+using View2D = View<T, 2, typename Space::default_layout>;
+template <class T, class Space = DefaultExecutionSpace>
+using View3D = View<T, 3, typename Space::default_layout>;
+
+}  // namespace kk

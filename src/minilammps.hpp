@@ -1,0 +1,16 @@
+// miniLAMMPS-KK umbrella header: include this and call mlk::init_all() once
+// before constructing Simulations (registers every built-in style with the
+// registry, the role LAMMPS's per-header registration macros play).
+#pragma once
+
+#include "engine/input.hpp"
+#include "engine/lattice.hpp"
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+
+namespace mlk {
+
+/// Register all built-in pair/fix/compute styles. Idempotent.
+void init_all();
+
+}  // namespace mlk

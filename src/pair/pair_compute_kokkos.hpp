@@ -1,0 +1,216 @@
+// pair_kokkos — the generic two-body force computation of §4.1.
+//
+// Every simple pairwise Kokkos style derives its force/energy kernels from a
+// single implementation that handles:
+//   * neighbor list style (FULL redundant-compute vs HALF with Newton's 3rd
+//     law) — the Fig. 2b trade-off,
+//   * write deconflicting through kk::ScatterView (atomics on Device,
+//     duplication/serial on Host),
+//   * atom-parallel (one work item per atom) vs hierarchical team-parallel
+//     (concurrency over the neighbors of each atom) dispatch — the Fig. 2a
+//     trade-off for small problems,
+//   * energy/virial tallies with the correct half/full weighting.
+//
+// The concrete style supplies a device-copyable functor exposing:
+//   double cutsq(itype, jtype)
+//   double fpair(rsq, itype, jtype)   — force magnitude divided by r
+//   double evdwl(rsq, itype, jtype)   — pair energy
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "engine/atom.hpp"
+#include "engine/neighbor.hpp"
+#include "kokkos/core.hpp"
+#include "kokkos/scatterview.hpp"
+#include "kokkos/team.hpp"
+
+namespace mlk {
+
+/// Energy + virial accumulator usable as a kk reduction value type.
+struct EV {
+  double evdwl = 0.0;
+  double ecoul = 0.0;
+  double v[6] = {0, 0, 0, 0, 0, 0};
+  EV() = default;
+  explicit EV(int) {}  // T(0) for reducers
+  EV& operator+=(const EV& o) {
+    evdwl += o.evdwl;
+    ecoul += o.ecoul;
+    for (int k = 0; k < 6; ++k) v[k] += o.v[k];
+    return *this;
+  }
+};
+
+enum class PairParallelism { Atom, Team };
+
+struct PairComputeConfig {
+  NeighStyle neigh = NeighStyle::Full;
+  bool newton = false;
+  PairParallelism parallelism = PairParallelism::Atom;
+  kk::ScatterMode scatter = kk::ScatterMode::Atomic;
+  int vector_length = 32;  // logical lanes for the team variant
+  bool eflag = true;
+};
+
+namespace detail {
+
+template <bool FULL, bool NEWTON, class XView, class FAcc, class TView,
+          class Functor>
+inline void pair_accumulate(const XView& x, const FAcc& facc,
+                            const TView& type, const Functor& func,
+                            std::size_t i, int j, localint nlocal, bool eflag,
+                            double& fxi, double& fyi, double& fzi, EV& ev) {
+  const double dx = x(i, 0) - x(std::size_t(j), 0);
+  const double dy = x(i, 1) - x(std::size_t(j), 1);
+  const double dz = x(i, 2) - x(std::size_t(j), 2);
+  const double rsq = dx * dx + dy * dy + dz * dz;
+  const int itype = type(i);
+  const int jtype = type(std::size_t(j));
+  if (rsq >= func.cutsq(itype, jtype)) return;
+
+  const double fpair = func.fpair(rsq, itype, jtype);
+  const double fx = dx * fpair, fy = dy * fpair, fz = dz * fpair;
+  fxi += fx;
+  fyi += fy;
+  fzi += fz;
+  if constexpr (!FULL) {
+    facc.add(std::size_t(j), 0, -fx);
+    facc.add(std::size_t(j), 1, -fy);
+    facc.add(std::size_t(j), 2, -fz);
+  }
+  if (eflag) {
+    const double factor =
+        FULL ? 0.5 : ((j < nlocal || NEWTON) ? 1.0 : 0.5);
+    ev.evdwl += factor * func.evdwl(rsq, itype, jtype);
+    ev.v[0] += factor * dx * fx;
+    ev.v[1] += factor * dy * fy;
+    ev.v[2] += factor * dz * fz;
+    ev.v[3] += factor * dx * fy;
+    ev.v[4] += factor * dx * fz;
+    ev.v[5] += factor * dy * fz;
+  }
+}
+
+}  // namespace detail
+
+/// Atom-parallel kernel: one work item per atom, serial loop over neighbors.
+template <class Space, bool FULL, bool NEWTON, class Functor>
+EV pair_compute_atom(const std::string& name, Atom& atom,
+                     const NeighborList& list, const Functor& func,
+                     kk::ScatterMode scatter, bool eflag) {
+  atom.sync<Space>(X_MASK | TYPE_MASK | F_MASK);
+  auto x = atom.k_x.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  auto type = atom.k_type.view<Space>();
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  auto neigh = l.k_neighbors.view<Space>();
+  auto numneigh = l.k_numneigh.view<Space>();
+  const localint nlocal = atom.nlocal;
+
+  kk::ScatterView<double, 2, Space> fscatter(f, scatter);
+  auto facc = fscatter.access();
+
+  EV total;
+  kk::parallel_reduce(
+      name, kk::RangePolicy<Space>(0, std::size_t(list.inum)),
+      [=](std::size_t i, EV& ev) {
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        const int jnum = numneigh(i);
+        for (int jj = 0; jj < jnum; ++jj) {
+          const int j = neigh(i, std::size_t(jj));
+          detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j,
+                                                nlocal, eflag, fxi, fyi, fzi,
+                                                ev);
+        }
+        facc.add(i, 0, fxi);
+        facc.add(i, 1, fyi);
+        facc.add(i, 2, fzi);
+      },
+      total);
+  fscatter.contribute();
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+/// Team-parallel kernel: one team per atom, neighbor loop distributed over
+/// (logical) vector lanes — exposes enough concurrency to saturate a GPU on
+/// small systems (§4.1, Fig. 2a).
+template <class Space, bool FULL, bool NEWTON, class Functor>
+EV pair_compute_team(const std::string& name, Atom& atom,
+                     const NeighborList& list, const Functor& func,
+                     kk::ScatterMode scatter, int vector_length, bool eflag) {
+  atom.sync<Space>(X_MASK | TYPE_MASK | F_MASK);
+  auto x = atom.k_x.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  auto type = atom.k_type.view<Space>();
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  auto neigh = l.k_neighbors.view<Space>();
+  auto numneigh = l.k_numneigh.view<Space>();
+  const localint nlocal = atom.nlocal;
+
+  kk::ScatterView<double, 2, Space> fscatter(f, scatter);
+  auto facc = fscatter.access();
+
+  EV total;
+  kk::TeamPolicy<Space> policy(std::size_t(list.inum), 1, vector_length);
+  kk::parallel_reduce(
+      name, policy,
+      [=](const kk::TeamMember& member, EV& ev) {
+        const std::size_t i = member.league_rank();
+        const int jnum = numneigh(i);
+        // Per-lane partial forces on atom i reduced across the vector range.
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        EV ev_local;
+        kk::parallel_for(kk::ThreadVectorRange(member, std::size_t(jnum)),
+                         [&](std::size_t jj) {
+                           const int j = neigh(i, jj);
+                           detail::pair_accumulate<FULL, NEWTON>(
+                               x, facc, type, func, i, j, nlocal, eflag, fxi,
+                               fyi, fzi, ev_local);
+                         });
+        member.team_barrier();
+        facc.add(i, 0, fxi);
+        facc.add(i, 1, fyi);
+        facc.add(i, 2, fzi);
+        ev += ev_local;
+      },
+      total);
+  fscatter.contribute();
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+/// Runtime-configured dispatcher over list style, newton flag, parallelism.
+template <class Space, class Functor>
+EV pair_compute_dispatch(const std::string& name, Atom& atom,
+                         const NeighborList& list, const Functor& func,
+                         const PairComputeConfig& cfg) {
+  const bool full = list.style == NeighStyle::Full;
+  const bool newton = list.newton;
+  if (cfg.parallelism == PairParallelism::Atom) {
+    if (full)
+      return pair_compute_atom<Space, true, false>(name, atom, list, func,
+                                                   cfg.scatter, cfg.eflag);
+    if (newton)
+      return pair_compute_atom<Space, false, true>(name, atom, list, func,
+                                                   cfg.scatter, cfg.eflag);
+    return pair_compute_atom<Space, false, false>(name, atom, list, func,
+                                                  cfg.scatter, cfg.eflag);
+  }
+  if (full)
+    return pair_compute_team<Space, true, false>(
+        name, atom, list, func, cfg.scatter, cfg.vector_length, cfg.eflag);
+  if (newton)
+    return pair_compute_team<Space, false, true>(
+        name, atom, list, func, cfg.scatter, cfg.vector_length, cfg.eflag);
+  return pair_compute_team<Space, false, false>(
+      name, atom, list, func, cfg.scatter, cfg.vector_length, cfg.eflag);
+}
+
+}  // namespace mlk

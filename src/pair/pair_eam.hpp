@@ -1,0 +1,60 @@
+// pair_style eam — Embedded Atom Method (Daw & Baskes), the many-body
+// potential of the paper's Fig. 1 whose Kokkos port (PairEAMKokkos) requires
+// additional per-atom communication mid-force-evaluation.
+//
+//   E = sum_i F(rho_i) + 1/2 sum_{i != j} phi(r_ij)
+//   rho_i = sum_j rho_a(r_ij)
+//
+// The paper's runs read tabulated alloy files; no such data ships here, so
+// this style uses a smooth analytic parameterization with the same
+// computational structure (density pass -> embedding derivative ->
+// ghost-fp forward communication -> force pass):
+//   rho_a(r) = (rc^2 - r^2)^2 / rc^4                (smooth to zero at rc)
+//   F(rho)   = -A sqrt(rho)
+//   phi(r)   = B (rc^2 - r^2)^2 / rc^4
+#pragma once
+
+#include "engine/pair.hpp"
+#include "kokkos/dualview.hpp"
+
+namespace mlk {
+
+class PairEAM : public Pair {
+ public:
+  PairEAM();
+
+  /// settings: [cutoff]
+  void settings(const std::vector<std::string>& args) override;
+  /// coeff: * * <A> <B> [cut]
+  void coeff(const std::vector<std::string>& args) override;
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override { return cut_; }
+
+  /// EAM needs every neighbor of every atom for the density sum.
+  NeighStyle neigh_style() const override { return NeighStyle::Full; }
+  bool newton() const override { return false; }
+
+  // Analytic kernel pieces (shared with the Kokkos variant and tests).
+  static double rho_a(double rsq, double cutsq);
+  static double drho_a(double rsq, double cutsq);  // d(rho_a)/dr / r
+  static double phi(double rsq, double cutsq, double B);
+  static double dphi(double rsq, double cutsq, double B);  // dphi/dr / r
+  static double embed(double rho, double A);
+  static double dembed(double rho, double A);
+
+  /// Per-atom embedding derivative F'(rho_i), exposed for tests.
+  const kk::DualView<double, 1>& fp() const { return k_fp_; }
+
+ protected:
+  double cut_ = 2.5;
+  double A_ = 1.0;
+  double B_ = 1.0;
+  kk::DualView<double, 1> k_rho_;
+  kk::DualView<double, 1> k_fp_;
+  void ensure_peratom(localint nall);
+};
+
+void register_pair_eam();
+
+}  // namespace mlk

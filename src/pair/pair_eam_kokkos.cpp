@@ -1,0 +1,124 @@
+#include "pair/pair_eam_kokkos.hpp"
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "kokkos/core.hpp"
+#include "pair/pair_compute_kokkos.hpp"
+#include "util/error.hpp"
+
+namespace mlk {
+
+template <class Space>
+PairEAMKokkos<Space>::PairEAMKokkos() {
+  style_name = "eam/kk";
+  execution_space =
+      Space::is_device ? ExecSpaceKind::Device : ExecSpaceKind::Host;
+}
+
+template <class Space>
+void PairEAMKokkos<Space>::compute(Simulation& sim, bool eflag) {
+  reset_accumulators();
+  Atom& atom = sim.atom;
+  auto& list = sim.neighbor.list;
+  require(list.style == NeighStyle::Full, "eam/kk requires a full list");
+
+  atom.sync<Space>(X_MASK | TYPE_MASK | F_MASK);
+  list.k_neighbors.sync<Space>();
+  list.k_numneigh.sync<Space>();
+  auto x = atom.k_x.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  auto neigh = list.k_neighbors.view<Space>();
+  auto numneigh = list.k_numneigh.view<Space>();
+  const localint nlocal = atom.nlocal;
+  const double cutsq = cut_ * cut_;
+  const double A = A_, B = B_;
+
+  ensure_peratom(atom.nall());
+  auto rho = k_rho_.view<Space>();
+  auto fp = k_fp_.view<Space>();
+
+  // Kernel 1: per-atom density + embedding energy (reduction).
+  double e_embed = 0.0;
+  kk::parallel_reduce(
+      std::string("PairEAMKokkos::rho<") + Space::name() + ">",
+      kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+      [=](std::size_t i, double& esum) {
+        double acc = 0.0;
+        const int jnum = numneigh(i);
+        for (int jj = 0; jj < jnum; ++jj) {
+          const int j = neigh(i, std::size_t(jj));
+          const double dx = x(i, 0) - x(std::size_t(j), 0);
+          const double dy = x(i, 1) - x(std::size_t(j), 1);
+          const double dz = x(i, 2) - x(std::size_t(j), 2);
+          acc += rho_a(dx * dx + dy * dy + dz * dz, cutsq);
+        }
+        rho(i) = acc;
+        fp(i) = dembed(acc, A);
+        esum += embed(acc, A);
+      },
+      e_embed);
+  if (eflag) eng_vdwl += e_embed;
+  k_rho_.modify<Space>();
+  k_fp_.modify<Space>();
+
+  // Ghost fp exchange runs on the host: DualView sync handles the transfer
+  // in each direction only when actually stale.
+  sim.comm.forward_scalar(k_fp_);
+  k_fp_.sync<Space>();
+  fp = k_fp_.view<Space>();
+
+  // Kernel 2: forces (+ pair energy/virial reduction).
+  EV total;
+  kk::parallel_reduce(
+      std::string("PairEAMKokkos::force<") + Space::name() + ">",
+      kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+      [=](std::size_t i, EV& ev) {
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        const int jnum = numneigh(i);
+        for (int jj = 0; jj < jnum; ++jj) {
+          const int j = neigh(i, std::size_t(jj));
+          const double dx = x(i, 0) - x(std::size_t(j), 0);
+          const double dy = x(i, 1) - x(std::size_t(j), 1);
+          const double dz = x(i, 2) - x(std::size_t(j), 2);
+          const double rsq = dx * dx + dy * dy + dz * dz;
+          if (rsq >= cutsq) continue;
+          const double psip =
+              (fp(i) + fp(std::size_t(j))) * drho_a(rsq, cutsq) +
+              dphi(rsq, cutsq, B);
+          const double fpair = -psip;
+          fxi += dx * fpair;
+          fyi += dy * fpair;
+          fzi += dz * fpair;
+          ev.evdwl += 0.5 * phi(rsq, cutsq, B);
+          ev.v[0] += 0.5 * dx * dx * fpair;
+          ev.v[1] += 0.5 * dy * dy * fpair;
+          ev.v[2] += 0.5 * dz * dz * fpair;
+          ev.v[3] += 0.5 * dx * dy * fpair;
+          ev.v[4] += 0.5 * dx * dz * fpair;
+          ev.v[5] += 0.5 * dy * dz * fpair;
+        }
+        f(i, 0) += fxi;
+        f(i, 1) += fyi;
+        f(i, 2) += fzi;
+      },
+      total);
+  if (eflag) {
+    eng_vdwl += total.evdwl;
+    for (int k = 0; k < 6; ++k) virial[k] = total.v[k];
+  }
+  atom.modified<Space>(F_MASK);
+}
+
+template class PairEAMKokkos<kk::Host>;
+template class PairEAMKokkos<kk::Device>;
+
+void register_pair_eam_kokkos() {
+  StyleRegistry::instance().add_pair_kokkos(
+      "eam", [](ExecSpaceKind space) -> std::unique_ptr<Pair> {
+        if (space == ExecSpaceKind::Host)
+          return std::make_unique<PairEAMKokkos<kk::Host>>();
+        return std::make_unique<PairEAMKokkos<kk::Device>>();
+      });
+}
+
+}  // namespace mlk

@@ -1,0 +1,22 @@
+// pair_style eam/kk — Kokkos EAM, dual-instantiated for Host and Device.
+//
+// Mirrors PairEAMKokkos in LAMMPS (paper Fig. 1): density kernel on the
+// execution space, DualView-mediated sync of the embedding derivative to the
+// host for the ghost forward communication, then the force kernel back on
+// the execution space.
+#pragma once
+
+#include "pair/pair_eam.hpp"
+
+namespace mlk {
+
+template <class Space>
+class PairEAMKokkos : public PairEAM {
+ public:
+  PairEAMKokkos();
+  void compute(Simulation& sim, bool eflag) override;
+};
+
+void register_pair_eam_kokkos();
+
+}  // namespace mlk

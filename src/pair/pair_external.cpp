@@ -1,0 +1,91 @@
+#include "pair/pair_external.hpp"
+
+#include <cmath>
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+
+namespace mlk {
+
+PairExternal::PairExternal() {
+  style_name = "external";
+  needs_reverse_comm = true;  // writes ghost forces like SNAP
+}
+
+void PairExternal::set_model(ExternalPotential model, double cutoff) {
+  require(cutoff > 0.0, "external: cutoff must be positive");
+  model_ = std::move(model);
+  cutoff_ = cutoff;
+}
+
+void PairExternal::init(Simulation&) {
+  require(static_cast<bool>(model_),
+          "external: no model registered (call set_model)");
+}
+
+void PairExternal::compute(Simulation& sim, bool eflag) {
+  reset_accumulators();
+  Atom& atom = sim.atom;
+  atom.sync<kk::Host>(X_MASK | TYPE_MASK | F_MASK);
+  auto& list = sim.neighbor.list;
+  list.k_neighbors.sync<kk::Host>();
+  list.k_numneigh.sync<kk::Host>();
+  require(list.style == NeighStyle::Full, "external requires a full list");
+
+  const auto x = atom.k_x.h_view;
+  auto f = atom.k_f.h_view;
+  const auto type = atom.k_type.h_view;
+  const auto neigh = list.k_neighbors.h_view;
+  const auto numneigh = list.k_numneigh.h_view;
+  const double cutsq = cutoff_ * cutoff_;
+
+  std::vector<ExternalNeighbor> nbrs;
+  std::vector<int> jidx;
+  std::vector<double> fij;
+  for (localint i = 0; i < list.inum; ++i) {
+    nbrs.clear();
+    jidx.clear();
+    for (int c = 0; c < numneigh(std::size_t(i)); ++c) {
+      const int j = neigh(std::size_t(i), std::size_t(c));
+      const double dx = x(std::size_t(j), 0) - x(std::size_t(i), 0);
+      const double dy = x(std::size_t(j), 1) - x(std::size_t(i), 1);
+      const double dz = x(std::size_t(j), 2) - x(std::size_t(i), 2);
+      const double rsq = dx * dx + dy * dy + dz * dz;
+      if (rsq >= cutsq || rsq < 1e-20) continue;
+      nbrs.push_back({dx, dy, dz, std::sqrt(rsq), type(std::size_t(j))});
+      jidx.push_back(j);
+    }
+    fij.assign(nbrs.size() * 3, 0.0);
+    const double ei = model_(type(std::size_t(i)), nbrs, fij.data());
+    if (eflag) eng_vdwl += ei;
+
+    // fij[k] = dE_i/d(r_j): reaction on i, action on j.
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::size_t j = std::size_t(jidx[k]);
+      for (int d = 0; d < 3; ++d) {
+        f(std::size_t(i), std::size_t(d)) += fij[3 * k + std::size_t(d)];
+        f(j, std::size_t(d)) -= fij[3 * k + std::size_t(d)];
+      }
+      if (eflag) {
+        const double* g = &fij[3 * k];
+        virial[0] -= nbrs[k].dx * g[0];
+        virial[1] -= nbrs[k].dy * g[1];
+        virial[2] -= nbrs[k].dz * g[2];
+        virial[3] -= nbrs[k].dx * g[1];
+        virial[4] -= nbrs[k].dx * g[2];
+        virial[5] -= nbrs[k].dy * g[2];
+      }
+    }
+  }
+  atom.modified<kk::Host>(F_MASK);
+}
+
+void register_pair_external() {
+  StyleRegistry::instance().add_pair(
+      "external", [](ExecSpaceKind) -> std::unique_ptr<Pair> {
+        return std::make_unique<PairExternal>();
+      });
+}
+
+}  // namespace mlk

@@ -1,0 +1,48 @@
+// pair_style external — the Appendix A integration strategy for potentials
+// implemented *outside* the MD code (PyTorch/JAX models behind a C++
+// interface, embedded interpreters, ...): the engine hands each atom's
+// neighborhood to a user-registered callback that returns the per-atom
+// energy and per-neighbor force contributions. The engine still owns
+// neighbor lists, ghosts, and communication — exactly the division of labor
+// the paper describes for NequIP/MACE/Allegro-style couplings.
+#pragma once
+
+#include <functional>
+
+#include "engine/pair.hpp"
+
+namespace mlk {
+
+/// One neighbor handed to the callback.
+struct ExternalNeighbor {
+  double dx, dy, dz;  // x_j - x_i
+  double r;
+  int type;
+};
+
+/// Per-atom callback: given the neighborhood, return E_i and write
+/// dE_i/d(r_j) into fij (3 doubles per neighbor).
+using ExternalPotential = std::function<double(
+    int itype, const std::vector<ExternalNeighbor>& neighbors, double* fij)>;
+
+class PairExternal : public Pair {
+ public:
+  PairExternal();
+
+  /// The cutoff must be declared by the external model.
+  void set_model(ExternalPotential model, double cutoff);
+
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override { return cutoff_; }
+  NeighStyle neigh_style() const override { return NeighStyle::Full; }
+  bool newton() const override { return false; }
+
+ private:
+  ExternalPotential model_;
+  double cutoff_ = 0.0;
+};
+
+void register_pair_external();
+
+}  // namespace mlk

@@ -1,0 +1,48 @@
+// pair_style lj/cut — the legacy (non-Kokkos) Lennard-Jones 12-6 potential,
+// computed with a half neighbor list and Newton's third law, one MPI rank
+// per core: the CPU baseline configuration of the paper (§4.1, Fig. 5).
+//
+//   E = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ],  r < r_c     (paper eq. 1)
+#pragma once
+
+#include "engine/pair.hpp"
+#include "kokkos/view.hpp"
+
+namespace mlk {
+
+class PairLJCut : public Pair {
+ public:
+  PairLJCut();
+
+  /// settings: [global cutoff]
+  void settings(const std::vector<std::string>& args) override;
+  /// coeff: <t1|*> <t2|*> <eps> <sigma> [cut]
+  void coeff(const std::vector<std::string>& args) override;
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override { return max_cut_; }
+
+  NeighStyle neigh_style() const override { return NeighStyle::Half; }
+  bool newton() const override { return true; }
+
+  // Pairwise force magnitude / r and energy, shared with tests.
+  static double pair_force(double rsq, double lj1, double lj2);
+  static double pair_energy(double rsq, double lj3, double lj4);
+
+ protected:
+  void allocate(int ntypes);
+  void set_coeff(int t1, int t2, double eps, double sigma, double cut);
+
+  int ntypes_ = 0;
+  double cut_global_ = 2.5;
+  double max_cut_ = 2.5;
+  // Host coefficient tables, (ntypes+1)^2; mixed by geometric/arithmetic
+  // rules when not given explicitly (LAMMPS "mix geometric" for lj/cut).
+  kk::View<double, 2> epsilon_, sigma_, cut_, cutsq_;
+  kk::View<double, 2> lj1_, lj2_, lj3_, lj4_;
+  bool coeffs_set_ = false;
+};
+
+void register_pair_lj_cut();
+
+}  // namespace mlk

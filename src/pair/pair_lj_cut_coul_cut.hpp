@@ -1,0 +1,29 @@
+// pair_style lj/cut/coul/cut — Lennard-Jones plus cutoff Coulomb, the
+// "electrically charged systems may add the Coulomb potential" variant the
+// paper's §4 mentions. Demonstrates a style with two cutoffs and per-atom
+// charge access (Q_MASK datamask).
+#pragma once
+
+#include "pair/pair_lj_cut.hpp"
+
+namespace mlk {
+
+class PairLJCutCoulCut : public PairLJCut {
+ public:
+  PairLJCutCoulCut();
+
+  /// settings: [lj cutoff] [coul cutoff]
+  void settings(const std::vector<std::string>& args) override;
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override;
+
+  /// Coulomb constant in the active unit system (qqr2e). LJ units: 1.
+  double qqr2e = 1.0;
+
+ private:
+  double cut_coul_ = 2.5;
+};
+
+void register_pair_lj_cut_coul_cut();
+
+}  // namespace mlk

@@ -1,0 +1,67 @@
+// pair_style lj/cut/kk — Kokkos Lennard-Jones, dual-instantiated for Host
+// and Device execution spaces (§3.3). Inherits coefficient handling from the
+// base PairLJCut (paper Fig. 1's PairEAM / PairEAMKokkos relationship) and
+// replaces the compute kernels with the generic pair_kokkos implementation.
+//
+// Exposes every §4.1 knob for the Fig. 2 experiments:
+//   * full vs half neighbor lists, newton on/off,
+//   * atomics vs duplication vs serial force deconflicting,
+//   * atom-parallel vs hierarchical (neighbors-of-atom) parallelism.
+#pragma once
+
+#include "pair/pair_compute_kokkos.hpp"
+#include "pair/pair_lj_cut.hpp"
+
+namespace mlk {
+
+/// Device-copyable coefficient functor for LJ.
+struct LJFunctor {
+  kk::View<double, 2> d_cutsq, d_lj1, d_lj2, d_lj3, d_lj4;
+
+  double cutsq(int itype, int jtype) const {
+    return d_cutsq(std::size_t(itype), std::size_t(jtype));
+  }
+  double fpair(double rsq, int itype, int jtype) const {
+    const double r2inv = 1.0 / rsq;
+    const double r6inv = r2inv * r2inv * r2inv;
+    return r6inv *
+           (d_lj1(std::size_t(itype), std::size_t(jtype)) * r6inv -
+            d_lj2(std::size_t(itype), std::size_t(jtype))) *
+           r2inv;
+  }
+  double evdwl(double rsq, int itype, int jtype) const {
+    const double r2inv = 1.0 / rsq;
+    const double r6inv = r2inv * r2inv * r2inv;
+    return r6inv * (d_lj3(std::size_t(itype), std::size_t(jtype)) * r6inv -
+                    d_lj4(std::size_t(itype), std::size_t(jtype)));
+  }
+};
+
+template <class Space>
+class PairLJCutKokkos : public PairLJCut {
+ public:
+  PairLJCutKokkos();
+
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+
+  NeighStyle neigh_style() const override { return cfg_.neigh; }
+  bool newton() const override { return cfg_.newton; }
+
+  /// Experiment knobs (Fig. 2a/2b, ScatterView ablation).
+  void set_neighbor_mode(NeighStyle style, bool newton_flag) {
+    cfg_.neigh = style;
+    cfg_.newton = newton_flag;
+  }
+  void set_parallelism(PairParallelism p) { cfg_.parallelism = p; }
+  void set_scatter_mode(kk::ScatterMode m) { cfg_.scatter = m; }
+  void set_vector_length(int v) { cfg_.vector_length = v; }
+
+ private:
+  PairComputeConfig cfg_;
+  LJFunctor functor_;
+};
+
+void register_pair_lj_cut_kokkos();
+
+}  // namespace mlk

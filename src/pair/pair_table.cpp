@@ -1,0 +1,144 @@
+#include "pair/pair_table.hpp"
+
+#include <cmath>
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk {
+
+PairTable::PairTable() { style_name = "table"; }
+
+void PairTable::settings(const std::vector<std::string>& args) {
+  require(!args.empty(), "table: settings need <npoints> [cutoff]");
+  n_ = to_int(args[0]);
+  require(n_ >= 2, "table: need at least 2 points");
+  if (args.size() > 1) cut_ = to_double(args[1]);
+  require(cut_ > 0.0, "table: cutoff must be positive");
+}
+
+void PairTable::tabulate(std::function<double(double)> energy_of_r,
+                         std::function<double(double)> force_over_r_of_r) {
+  e_tab_ = kk::View<double, 1>("table::e", std::size_t(n_));
+  f_tab_ = kk::View<double, 1>("table::f", std::size_t(n_));
+  const double hi = cut_ * cut_;
+  for (int k = 0; k < n_; ++k) {
+    const double rsq =
+        rsq_min_ + (hi - rsq_min_) * double(k) / double(n_ - 1);
+    const double r = std::sqrt(rsq);
+    e_tab_(std::size_t(k)) = energy_of_r(r);
+    f_tab_(std::size_t(k)) = force_over_r_of_r(r);
+  }
+}
+
+void PairTable::coeff(const std::vector<std::string>& args) {
+  require(args.size() >= 5 && args[0] == "*" && args[1] == "*",
+          "table coeff: * * <lj|morse> <p1> <p2>");
+  const std::string& form = args[2];
+  const double p1 = to_double(args[3]);
+  const double p2 = to_double(args[4]);
+  if (form == "lj") {
+    const double eps = p1, sigma = p2;
+    tabulate(
+        [=](double r) {
+          const double sr6 = std::pow(sigma / r, 6.0);
+          return 4.0 * eps * (sr6 * sr6 - sr6);
+        },
+        [=](double r) {
+          const double sr6 = std::pow(sigma / r, 6.0);
+          return 24.0 * eps * (2.0 * sr6 * sr6 - sr6) / (r * r);
+        });
+  } else if (form == "morse") {
+    const double D = p1, alpha = p2, r0 = 1.0;
+    tabulate(
+        [=](double r) {
+          const double e = std::exp(-alpha * (r - r0));
+          return D * (e * e - 2.0 * e);
+        },
+        [=](double r) {
+          const double e = std::exp(-alpha * (r - r0));
+          return 2.0 * D * alpha * (e * e - e) / r;
+        });
+  } else {
+    fatal("table: unknown source form '" + form + "'");
+  }
+}
+
+void PairTable::interpolate(double rsq, double* e, double* fpair) const {
+  const double hi = cut_ * cut_;
+  const double t =
+      (rsq - rsq_min_) / (hi - rsq_min_) * double(n_ - 1);
+  int k = int(t);
+  if (k < 0) k = 0;
+  if (k > n_ - 2) k = n_ - 2;
+  const double frac = t - double(k);
+  *e = e_tab_(std::size_t(k)) * (1.0 - frac) + e_tab_(std::size_t(k) + 1) * frac;
+  *fpair =
+      f_tab_(std::size_t(k)) * (1.0 - frac) + f_tab_(std::size_t(k) + 1) * frac;
+}
+
+void PairTable::compute(Simulation& sim, bool eflag) {
+  reset_accumulators();
+  require(e_tab_.is_allocated(), "table: no tabulation set");
+  Atom& atom = sim.atom;
+  atom.sync<kk::Host>(X_MASK | TYPE_MASK | F_MASK);
+  auto& list = sim.neighbor.list;
+  list.k_neighbors.sync<kk::Host>();
+  list.k_numneigh.sync<kk::Host>();
+
+  const auto x = atom.k_x.h_view;
+  auto f = atom.k_f.h_view;
+  const auto neigh = list.k_neighbors.h_view;
+  const auto numneigh = list.k_numneigh.h_view;
+  const localint nlocal = atom.nlocal;
+  const double cutsq = cut_ * cut_;
+  const bool half = list.style == NeighStyle::Half;
+  const bool newton = list.newton;
+
+  for (localint i = 0; i < list.inum; ++i) {
+    double fxi = 0, fyi = 0, fzi = 0;
+    for (int jj = 0; jj < numneigh(std::size_t(i)); ++jj) {
+      const int j = neigh(std::size_t(i), std::size_t(jj));
+      const double dx = x(std::size_t(i), 0) - x(std::size_t(j), 0);
+      const double dy = x(std::size_t(i), 1) - x(std::size_t(j), 1);
+      const double dz = x(std::size_t(i), 2) - x(std::size_t(j), 2);
+      const double rsq = dx * dx + dy * dy + dz * dz;
+      if (rsq >= cutsq) continue;
+      double e, fpair;
+      interpolate(rsq, &e, &fpair);
+      fxi += dx * fpair;
+      fyi += dy * fpair;
+      fzi += dz * fpair;
+      if (half) {
+        f(std::size_t(j), 0) -= dx * fpair;
+        f(std::size_t(j), 1) -= dy * fpair;
+        f(std::size_t(j), 2) -= dz * fpair;
+      }
+      if (eflag) {
+        const double factor = half ? ((j < nlocal || newton) ? 1.0 : 0.5) : 0.5;
+        eng_vdwl += factor * e;
+        virial[0] += factor * dx * dx * fpair;
+        virial[1] += factor * dy * dy * fpair;
+        virial[2] += factor * dz * dz * fpair;
+        virial[3] += factor * dx * dy * fpair;
+        virial[4] += factor * dx * dz * fpair;
+        virial[5] += factor * dy * dz * fpair;
+      }
+    }
+    f(std::size_t(i), 0) += fxi;
+    f(std::size_t(i), 1) += fyi;
+    f(std::size_t(i), 2) += fzi;
+  }
+  atom.modified<kk::Host>(F_MASK);
+}
+
+void register_pair_table() {
+  StyleRegistry::instance().add_pair(
+      "table", [](ExecSpaceKind) -> std::unique_ptr<Pair> {
+        return std::make_unique<PairTable>();
+      });
+}
+
+}  // namespace mlk

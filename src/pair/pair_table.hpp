@@ -1,0 +1,46 @@
+// pair_style table — tabulated pairwise potential with linear interpolation
+// on r^2 (LAMMPS's fastest table mode). Tables are generated from a
+// registered analytic source function, which lets tests verify the
+// interpolation machinery against closed forms and gives the bench harness
+// a way to sweep arithmetic intensity independent of functional form.
+#pragma once
+
+#include <functional>
+
+#include "engine/pair.hpp"
+#include "kokkos/view.hpp"
+
+namespace mlk {
+
+class PairTable : public Pair {
+ public:
+  PairTable();
+
+  /// settings: <npoints> [cutoff]
+  void settings(const std::vector<std::string>& args) override;
+  /// coeff: * * <lj|morse> <p1> <p2> — tabulates 4 eps [...] or Morse.
+  void coeff(const std::vector<std::string>& args) override;
+
+  /// Programmatic tabulation of an arbitrary source (public API).
+  void tabulate(std::function<double(double)> energy_of_r,
+                std::function<double(double)> force_over_r_of_r);
+
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override { return cut_; }
+  NeighStyle neigh_style() const override { return NeighStyle::Half; }
+  bool newton() const override { return true; }
+
+  int npoints() const { return n_; }
+
+ private:
+  int n_ = 1000;
+  double cut_ = 2.5;
+  double rsq_min_ = 0.01;
+  kk::View<double, 1> e_tab_, f_tab_;  // indexed on rsq grid
+
+  void interpolate(double rsq, double* e, double* fpair) const;
+};
+
+void register_pair_table();
+
+}  // namespace mlk

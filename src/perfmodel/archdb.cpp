@@ -1,0 +1,75 @@
+#include "perfmodel/archdb.hpp"
+
+#include "util/error.hpp"
+
+namespace mlk::perf {
+
+namespace {
+constexpr double TB = 1e12;
+constexpr double GB = 1e9;
+constexpr double MB = 1e6;
+constexpr double TF = 1e12;
+constexpr double US = 1e-6;
+}  // namespace
+
+const std::vector<GpuArch>& arch_table() {
+  // Paper Table 1 values; L2 sizes, SM counts, atomic rates and launch
+  // latencies from vendor documentation and the paper's qualitative
+  // statements (NVIDIA atomic throughput high, §4.1; GH200 launch latency
+  // higher than H100, Appendix C.1).
+  static const std::vector<GpuArch> table = {
+      //  name     BW        cap      FP64    L1    shm  uni  L2        SM  atomics  launch  sat-threads
+      {"V100", 0.9 * TB, 16 * GB, 7.8 * TF, 128, 0, true, 6 * MB, 80,
+       60e9, 6 * US, 80e3},
+      {"A100", 1.5 * TB, 40 * GB, 9.7 * TF, 192, 0, true, 40 * MB, 108,
+       100e9, 6 * US, 110e3},
+      {"H100", 3.3 * TB, 80 * GB, 34 * TF, 256, 0, true, 50 * MB, 132,
+       200e9, 6 * US, 135e3},
+      {"GH200", 4.0 * TB, 96 * GB, 34 * TF, 256, 0, true, 60 * MB, 132,
+       200e9, 9 * US, 135e3},
+      {"MI250X", 1.6 * TB, 64 * GB, 24 * TF, 16, 64, false, 8 * MB, 110,
+       25e9, 8 * US, 115e3},
+      {"MI300A", 5.3 * TB, 128 * GB, 61 * TF, 32, 64, false, 256 * MB, 228,
+       50e9, 8 * US, 230e3},
+      {"PVC", 1.6 * TB, 64 * GB, 26 * TF, 0, 128, false, 102 * MB, 64,
+       30e9, 10 * US, 65e3},
+      // 36-core Skylake node (Fig. 5 normalization baseline): per-core AVX512
+      // FP64 and aggregate bandwidth; "launch latency" ~ a parallel-region
+      // fork; effectively always saturated.
+      {"CPU", 0.2 * TB, 192 * GB, 2.4 * TF, 32, 0, false, 50 * MB, 36,
+       0.5e9, 1 * US, 36},
+  };
+  return table;
+}
+
+const GpuArch& arch(const std::string& name) {
+  for (const auto& a : arch_table())
+    if (a.name == name) return a;
+  fatal("unknown architecture '" + name + "'");
+}
+
+const std::vector<Machine>& machine_table() {
+  // Node configurations of §5.2: Frontier (4x MI250X = 8 GCDs, Slingshot-11,
+  // 4 NICs), El Capitan (4x MI300A, Slingshot-11), Aurora (6x PVC = 12
+  // stacks, 8 NICs), Alps (4x GH200, Slingshot-11 1:1), Eos (DGX H100 used
+  // with 4 GPUs + 4 NDR400 NICs to mirror Alps, Appendix C).
+  static const std::vector<Machine> table = {
+      {"Frontier", "MI250X", 8, 12.5 * GB, 2 * US, 8192},
+      {"ElCapitan", "MI300A", 4, 25 * GB, 2 * US, 8192},
+      {"Aurora", "PVC", 12, 16.6 * GB, 2.5 * US, 2048},
+      {"Alps", "GH200", 4, 25 * GB, 2 * US, 2048},
+      // NDR400 nominal 50 GB/s; effective per-GPU rate set comparable to
+      // Slingshot-11 per the paper ("comparable network bandwidths between
+      // NDR 400 and Slingshot-11", Appendix C).
+      {"Eos", "H100", 4, 25 * GB, 1.5 * US, 256},
+  };
+  return table;
+}
+
+const Machine& machine(const std::string& name) {
+  for (const auto& m : machine_table())
+    if (m.name == name) return m;
+  fatal("unknown machine '" + name + "'");
+}
+
+}  // namespace mlk::perf

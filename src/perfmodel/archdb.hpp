@@ -1,0 +1,54 @@
+// Architecture database: Table 1 of the paper plus the public parameters
+// (L2, SM counts, atomic throughput, launch latency) the model needs.
+// All bandwidths bytes/s, capacities bytes, rates per second.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlk::perf {
+
+struct GpuArch {
+  std::string name;
+  double hbm_bw = 0;          // HBM bandwidth
+  double hbm_capacity = 0;    // HBM capacity
+  double fp64 = 0;            // FP64 throughput (no matrix units, as Table 1)
+  double l1_kb = 0;           // hardware-managed L1 per SM/CU (kB)
+  double shared_kb = 0;       // software-managed scratch per SM/CU (kB)
+  bool unified_l1 = false;    // NVIDIA: L1+shared share one pool (carveout)
+  double l2_bytes = 0;        // device-level L2/LLC
+  int num_sm = 0;             // SMs / CUs / Xe-cores
+  double atomic_rate = 0;     // sustained FP64 atomic adds/s to HBM
+  double launch_latency = 0;  // kernel launch overhead (s)
+  double saturation_threads = 0;  // concurrency for ~50% of peak
+
+  /// Unified pool size (NVIDIA) or l1+shared (fixed architectures).
+  double l1_total_kb() const { return l1_kb + shared_kb; }
+};
+
+/// Table 1 rows (single logical GPU for MI250X and PVC) + the Skylake CPU
+/// baseline node used for Fig. 5 normalization.
+const std::vector<GpuArch>& arch_table();
+
+/// Lookup by name ("V100", "A100", "H100", "GH200", "MI250X", "MI300A",
+/// "PVC", "CPU"). Throws on unknown names.
+const GpuArch& arch(const std::string& name);
+
+struct Machine {
+  std::string name;
+  std::string gpu;        // arch() key
+  int gpus_per_node = 1;  // logical GPUs (GCDs / stacks)
+  double nic_bw = 0;      // bytes/s per logical GPU
+  double nic_latency = 0; // per message (s)
+  int max_nodes = 0;
+  /// Per-step host-side overhead (MPI stack, style callbacks, forced
+  /// device synchronization) — the ~1 ms/step floor that caps real LAMMPS
+  /// runs near 1000 steps/s (paper section 5.2).
+  double host_overhead = 0.6e-3;
+};
+
+/// The five machines of §5.2 / Appendix C.
+const std::vector<Machine>& machine_table();
+const Machine& machine(const std::string& name);
+
+}  // namespace mlk::perf

@@ -1,0 +1,333 @@
+#include "perfmodel/counters.hpp"
+
+#include <cmath>
+
+#include "minilammps.hpp"
+#include "reaxff/pair_reaxff_lite.hpp"
+#include "snap/clebsch_gordan.hpp"
+#include "snap/pair_snap.hpp"
+
+namespace mlk::perf {
+
+namespace {
+
+/// Count full-list neighbors within `cut` (not the padded list cutoff).
+double neighbors_within(Simulation& sim, double cut) {
+  auto& l = sim.neighbor.list;
+  l.k_neighbors.sync<kk::Host>();
+  l.k_numneigh.sync<kk::Host>();
+  const auto x = sim.atom.k_x.h_view;
+  bigint count = 0;
+  for (localint i = 0; i < l.inum; ++i)
+    for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c) {
+      const int j = l.k_neighbors.h_view(std::size_t(i), std::size_t(c));
+      const double dx = x(std::size_t(i), 0) - x(std::size_t(j), 0);
+      const double dy = x(std::size_t(i), 1) - x(std::size_t(j), 1);
+      const double dz = x(std::size_t(i), 2) - x(std::size_t(j), 2);
+      if (dx * dx + dy * dy + dz * dz < cut * cut) ++count;
+    }
+  return double(count) / double(l.inum);
+}
+
+}  // namespace
+
+PotentialStats measure_lj_stats() {
+  init_all();
+  Simulation sim;
+  sim.thermo.print = false;
+  Input in(sim);
+  in.line("units lj");
+  in.line("lattice fcc 0.8442");
+  in.line("create_atoms 6 6 6 jitter 0.03 991");
+  in.line("mass 1 1.0");
+  in.line("pair_style lj/cut 2.5");
+  in.line("pair_coeff * * 1.0 1.0");
+  sim.newton_override = 0;
+  sim.pair = StyleRegistry::instance().create_pair("lj/cut/kk");  // full list
+  sim.pair->settings({"2.5"});
+  sim.pair->coeff({"*", "*", "1.0", "1.0"});
+  sim.setup();
+  PotentialStats s;
+  s.neighbors_per_atom = neighbors_within(sim, 2.5);
+  return s;
+}
+
+PotentialStats measure_reaxff_stats() {
+  init_all();
+  Simulation sim;
+  sim.thermo.print = false;
+  Input in(sim);
+  in.line("units real");
+  in.line("lattice hns_like 5.2");
+  in.line("create_atoms 3 3 3 jitter 0.03 4411");
+  in.line("mass 1 12.0");
+  in.line("mass 2 16.0");
+  in.line("pair_style reaxff-lite");
+  in.line("pair_coeff * * hns");
+  sim.setup();
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim.pair.get());
+  PotentialStats s;
+  const double n = double(sim.atom.nlocal);
+  s.neighbors_per_atom = neighbors_within(sim, pair->params().rcut_nonb);
+  s.bonds_per_atom = double(pair->bonds().total_bonds()) / n;
+  s.quads_per_atom = double(pair->quads().count) / n;
+  s.quad_candidates_per_atom = double(pair->quads().candidates) / n;
+  // triples per atom: nb*(nb-1)/2 summed == rebuildable from bonds.
+  double triples = 0;
+  for (localint i = 0; i < sim.atom.nlocal; ++i) {
+    const double nb = pair->bonds().nbonds(std::size_t(i));
+    triples += nb * (nb - 1) / 2.0;
+  }
+  s.triples_per_atom = triples / n;
+  s.qeq_iterations = pair->qeq().last_iterations();
+  s.qeq_nnz_per_atom = double(pair->qeq().matrix().total_nonzeros()) / n;
+  return s;
+}
+
+PotentialStats measure_snap_stats(int twojmax) {
+  init_all();
+  Simulation sim;
+  sim.thermo.print = false;
+  Input in(sim);
+  in.line("units metal");
+  in.line("lattice bcc 3.16");
+  in.line("create_atoms 4 4 4 jitter 0.02 5511");
+  in.line("mass 1 183.84");
+  in.line("pair_style snap");
+  in.line("pair_coeff * * 4.7 " + std::to_string(twojmax) + " 7771");
+  sim.setup();
+  PotentialStats s;
+  s.snap_neighbors = neighbors_within(sim, 4.7);
+  snap::SnaIndexes idx;
+  idx.build(twojmax);
+  s.snap_idxu = idx.idxu_max;
+  s.snap_idxz = idx.idxz_max;
+  s.snap_idxb = idx.idxb_max;
+  double inner = 0;
+  for (const auto& e : idx.idxz) inner += double(e.na) * double(e.nb);
+  s.snap_z_inner_ops = inner;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<KernelWorkload> lj_workloads(bigint natoms,
+                                         const PotentialStats& s,
+                                         const LJConfig& cfg) {
+  const double n = double(natoms);
+  const double nn = s.neighbors_per_atom;
+  std::vector<KernelWorkload> out;
+
+  KernelWorkload force;
+  force.name = "PairComputeLJCut";
+  const double pair_visits = cfg.full_list ? n * nn : n * nn / 2.0;
+  force.flops = pair_visits * 30.0;
+  // Neighbor indices + own coords/forces are compulsory; neighbor coords are
+  // gathered (2 sectors per access) and cache-served when resident.
+  force.unique_bytes = pair_visits * 4.0 + n * 48.0;
+  force.reuse_bytes = pair_visits * 48.0;
+  // Spatial locality: binned traversal keeps the active coordinate working
+  // set bounded regardless of total size.
+  force.working_set = 24.0 * std::min(n, 1.2e6);
+  force.atomics = cfg.full_list ? 0.0 : pair_visits * 3.0;
+  force.parallel_items = cfg.team_parallel ? n * std::min(nn, 32.0) : n;
+  out.push_back(force);
+
+  KernelWorkload integrate;
+  integrate.name = "FixNVE";
+  integrate.flops = n * 18.0;
+  integrate.unique_bytes = n * 96.0;
+  integrate.parallel_items = n;
+  integrate.launches = 2;
+  out.push_back(integrate);
+
+  KernelWorkload neigh;  // rebuild amortized over ~20 steps
+  neigh.name = "NeighborBuild/20";
+  neigh.flops = n * nn * 10.0 / 20.0;
+  neigh.unique_bytes = (n * nn * 4.0 + n * 60.0) / 20.0;
+  neigh.parallel_items = n;
+  out.push_back(neigh);
+
+  KernelWorkload misc;  // pack/unpack, thermo, small glue launches
+  misc.name = "misc-launches";
+  misc.parallel_items = n;
+  misc.unique_bytes = n * 8.0;
+  misc.launches = 1;
+  out.push_back(misc);
+  return out;
+}
+
+std::vector<KernelWorkload> reaxff_workloads(bigint natoms,
+                                             const PotentialStats& s,
+                                             const ReaxConfig& cfg) {
+  const double n = double(natoms);
+  std::vector<KernelWorkload> out;
+
+  KernelWorkload bonds;
+  bonds.name = "BondOrder count+fill";
+  bonds.flops = n * s.neighbors_per_atom * 12.0 + n * s.bonds_per_atom * 60.0;
+  bonds.unique_bytes = n * s.neighbors_per_atom * 4.0 + n * s.bonds_per_atom * 44.0;
+  bonds.reuse_bytes = n * s.neighbors_per_atom * 48.0;
+  bonds.working_set = 24.0 * std::min(n, 1.2e6);
+  bonds.parallel_items = n;
+  bonds.launches = 6;
+  out.push_back(bonds);
+
+  KernelWorkload angle;
+  angle.name = "Angles";
+  angle.flops = n * s.triples_per_atom * 130.0;
+  angle.unique_bytes = n * s.triples_per_atom * 24.0;
+  angle.atomics = n * s.triples_per_atom * 9.0;
+  angle.parallel_items = cfg.preprocessed ? n * s.triples_per_atom : n;
+  angle.launches = cfg.preprocessed ? 3 : 1;  // count+scan+fill glue
+  out.push_back(angle);
+
+  // Torsion: the §4.2.1 divergence model. In the direct kernel the expensive
+  // work runs only on surviving quads, but a whole warp stalls if any lane
+  // survives: effective cost multiplies by min(32, (1-(1-s)^32)/s).
+  const double survival =
+      s.quad_candidates_per_atom > 0
+          ? s.quads_per_atom / s.quad_candidates_per_atom
+          : 0.0;
+  KernelWorkload tors;
+  tors.name = cfg.preprocessed ? "Torsion (pre-processed)" : "Torsion (direct)";
+  const double quad_flops = 260.0;
+  if (cfg.preprocessed) {
+    // Cheap divergent pre-pass + fully convergent compute over quads.
+    KernelWorkload pre;
+    pre.name = "Torsion pre-process";
+    pre.flops = n * s.quad_candidates_per_atom * 18.0;
+    pre.unique_bytes = n * s.quads_per_atom * 16.0;
+    pre.parallel_items = n;
+    pre.launches = 3;  // count, scan, fill
+    out.push_back(pre);
+    tors.flops = n * s.quads_per_atom * quad_flops;
+    tors.parallel_items = n * std::max(s.quads_per_atom, 1.0);
+  } else {
+    const double warp_factor =
+        survival > 0.0
+            ? std::min(32.0, (1.0 - std::pow(1.0 - survival, 32.0)) / survival)
+            : 1.0;
+    tors.flops = n * s.quad_candidates_per_atom * 18.0 +
+                 n * s.quads_per_atom * quad_flops * warp_factor;
+    tors.parallel_items = n;
+  }
+  tors.unique_bytes = n * s.quads_per_atom * 16.0;
+  tors.atomics = n * s.quads_per_atom * 12.0;
+  out.push_back(tors);
+
+  KernelWorkload build;
+  build.name = cfg.hierarchical_qeq ? "QEq build (team rows)" : "QEq build (flat)";
+  build.flops = n * s.qeq_nnz_per_atom * 40.0;
+  build.unique_bytes = n * s.qeq_nnz_per_atom * 12.0;
+  build.reuse_bytes =
+      n * s.qeq_nnz_per_atom * (cfg.hierarchical_qeq ? 32.0 : 64.0);
+  build.working_set = 24.0 * std::min(n, 1.2e6);
+  build.parallel_items = cfg.hierarchical_qeq ? n * 32.0 : n;
+  build.launches = 4;
+  out.push_back(build);
+
+  // CG: bandwidth-bound sparse matvecs dominate (§4.2.3). The fused dual
+  // solve loads the matrix once per iteration for both systems.
+  KernelWorkload cg;
+  cg.name = cfg.fused_solve ? "QEq CG (fused dual)" : "QEq CG (2 solves)";
+  const double iters = std::max(s.qeq_iterations, 1.0);
+  const double matrix_bytes = n * s.qeq_nnz_per_atom * 12.0;
+  const double vector_bytes = n * 8.0 * 10.0;
+  const double passes = cfg.fused_solve ? 1.0 : 2.0;
+  cg.flops = iters * n * s.qeq_nnz_per_atom * 4.0 * 2.0;
+  cg.unique_bytes = iters * (matrix_bytes * passes + vector_bytes * 2.0);
+  cg.parallel_items = n * 4.0;
+  cg.launches = int(iters * (cfg.fused_solve ? 6 : 12));
+  out.push_back(cg);
+
+  KernelWorkload vdw;
+  vdw.name = "VdW + Coulomb force";
+  vdw.flops = n * s.neighbors_per_atom * 45.0 + n * s.qeq_nnz_per_atom * 30.0;
+  vdw.unique_bytes = n * s.neighbors_per_atom * 4.0 + n * s.qeq_nnz_per_atom * 12.0;
+  vdw.reuse_bytes = n * s.neighbors_per_atom * 48.0;
+  vdw.working_set = 32.0 * std::min(n, 1.2e6);
+  vdw.atomics = n * s.qeq_nnz_per_atom * 6.0;
+  vdw.parallel_items = n;
+  vdw.launches = 4;
+  out.push_back(vdw);
+
+  KernelWorkload integrate;
+  integrate.name = "FixNVE + glue";
+  integrate.flops = n * 18.0;
+  integrate.unique_bytes = n * 96.0;
+  integrate.parallel_items = n;
+  integrate.launches = 12;  // ReaxFF steps launch many small glue kernels
+  out.push_back(integrate);
+  return out;
+}
+
+std::vector<KernelWorkload> snap_workloads(bigint natoms,
+                                           const PotentialStats& s,
+                                           const SnapConfig& cfg) {
+  const double n = double(natoms);
+  const double nn = s.snap_neighbors;
+  const double iu = double(s.snap_idxu);
+  std::vector<KernelWorkload> out;
+
+  // ComputeUi: recursion per (atom, neighbor); batching sums `ui_batch`
+  // neighbors locally before the atomic accumulation (Table 2) — atomics
+  // divide by the batch factor and the batched recursions expose ILP
+  // (modelled as a small FP64 efficiency gain).
+  KernelWorkload ui;
+  ui.name = "ComputeUi";
+  const double ilp_gain = 1.0 + 0.25 * std::log2(double(std::max(cfg.ui_batch, 1)));
+  ui.flops = n * nn * iu * 16.0 / ilp_gain;
+  ui.unique_bytes = n * nn * 32.0 + n * iu * 16.0;
+  ui.atomics = n * (nn / std::max(cfg.ui_batch, 1)) * iu * 2.0;
+  ui.parallel_items = n * std::max(nn / std::max(cfg.ui_batch, 1), 1.0);
+  ui.uses_shared = true;
+  ui.shared_per_sm = iu * 4.0 * 8.0 * 32.0;  // 4 buffers x 32 threads/SM
+  out.push_back(ui);
+
+  // ComputeYi: Z dot products from cached U; L1-throughput limited. Batching
+  // over atoms reduces lookup-table transactions (Table 2).
+  KernelWorkload yi;
+  yi.name = "ComputeYi";
+  const double yi_batch_gain =
+      1.0 + 0.15 * std::log2(double(std::max(cfg.yi_batch, 1)));
+  yi.flops = n * s.snap_z_inner_ops * 8.0 / yi_batch_gain;
+  yi.unique_bytes = n * double(s.snap_idxz) * 8.0;
+  yi.reuse_bytes = n * s.snap_z_inner_ops * 32.0 / yi_batch_gain;
+  // Tiled traversal: per-tile U sets of v=32 atoms per SM stay resident
+  // (constant aggregate working set; the point of the 3-d tiling).
+  yi.working_set = iu * 16.0 * 32.0 * 132.0;
+  yi.atomics = n * double(s.snap_idxz) * 2.0;
+  yi.parallel_items = n * 32.0;
+  out.push_back(yi);
+
+  // ComputeFusedDeidrj: dU recursion in all 3 directions + Y contraction.
+  // Unfused: 3 launches, each recomputing U and reloading Y.
+  KernelWorkload dei;
+  dei.name = cfg.fused_deidrj ? "ComputeFusedDeidrj" : "ComputeDeidrj x3";
+  if (cfg.fused_deidrj) {
+    dei.flops = n * nn * iu * (16.0 + 3.0 * 24.0);
+    dei.unique_bytes = n * iu * 16.0 + n * nn * 56.0;
+    dei.launches = 1;
+  } else {
+    dei.flops = 3.0 * (n * nn * iu * (16.0 + 24.0 + 8.0));
+    dei.unique_bytes = 3.0 * (n * iu * 16.0) + n * nn * 56.0;
+    dei.launches = 3;
+  }
+  dei.atomics = n * nn * 6.0;
+  dei.parallel_items = n * nn;
+  dei.uses_shared = true;
+  dei.shared_per_sm = iu * 8.0 * 8.0 * 32.0;
+  out.push_back(dei);
+
+  KernelWorkload integrate;
+  integrate.name = "FixNVE + glue";
+  integrate.flops = n * 18.0;
+  integrate.unique_bytes = n * 96.0;
+  integrate.parallel_items = n;
+  integrate.launches = 4;
+  out.push_back(integrate);
+  return out;
+}
+
+}  // namespace mlk::perf

@@ -1,0 +1,74 @@
+// Workload extraction: runs the *real* kernels at a reference size on this
+// CPU, measures the quantities that drive cost (neighbor counts, bond/quad
+// statistics, CG iteration counts, SNAP index-space sums), and generates
+// per-timestep KernelWorkload descriptors for any atom count. This is the
+// bridge between the real implementation and the architecture model
+// (DESIGN.md, "measurement vs modelling split").
+#pragma once
+
+#include <vector>
+
+#include "perfmodel/gpumodel.hpp"
+#include "util/types.hpp"
+
+namespace mlk::perf {
+
+/// Statistics measured from real runs of each case-study potential.
+struct PotentialStats {
+  // Common.
+  double neighbors_per_atom = 0;  // full-list rows within force cutoff
+
+  // ReaxFF.
+  double bonds_per_atom = 0;
+  double triples_per_atom = 0;
+  double quads_per_atom = 0;
+  double quad_candidates_per_atom = 0;
+  double qeq_iterations = 0;
+  double qeq_nnz_per_atom = 0;
+
+  // SNAP (exact index-space sizes + inner-loop sums from the CG tables).
+  int snap_idxu = 0;
+  int snap_idxz = 0;
+  int snap_idxb = 0;
+  double snap_z_inner_ops = 0;  // sum over idxz of na*nb (Z dot products)
+  double snap_neighbors = 0;    // within SNAP rcut
+};
+
+/// Measure by running the real engine at a small reference size.
+PotentialStats measure_lj_stats();
+PotentialStats measure_reaxff_stats();
+PotentialStats measure_snap_stats(int twojmax = 8);
+
+// --- per-timestep workload generators --------------------------------------
+
+struct LJConfig {
+  bool full_list = true;       // vs half + atomics (Fig. 2b)
+  bool team_parallel = false;  // neighbor-level concurrency (Fig. 2a)
+  bool newton = false;
+};
+
+std::vector<KernelWorkload> lj_workloads(bigint natoms,
+                                         const PotentialStats& s,
+                                         const LJConfig& cfg = {});
+
+struct ReaxConfig {
+  bool preprocessed = true;  // quad/triple tables vs divergent loops
+  bool hierarchical_qeq = true;
+  bool fused_solve = true;
+};
+
+std::vector<KernelWorkload> reaxff_workloads(bigint natoms,
+                                             const PotentialStats& s,
+                                             const ReaxConfig& cfg = {});
+
+struct SnapConfig {
+  int ui_batch = 4;   // Table 2 work batching
+  int yi_batch = 4;
+  bool fused_deidrj = true;
+};
+
+std::vector<KernelWorkload> snap_workloads(bigint natoms,
+                                           const PotentialStats& s,
+                                           const SnapConfig& cfg = {});
+
+}  // namespace mlk::perf

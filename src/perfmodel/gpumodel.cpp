@@ -1,0 +1,85 @@
+#include "perfmodel/gpumodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlk::perf {
+
+KernelTime GpuModel::time(const KernelWorkload& w) const {
+  KernelTime out;
+  const GpuArch& a = arch_;
+
+  // --- effective L1 / shared split -------------------------------------
+  double l1_kb = a.l1_kb;
+  double shared_kb = a.shared_kb;
+  if (a.unified_l1) {
+    double c = carveout;
+    if (c < 0.0) {
+      // Built-in heuristic (§4.4): kernels using scratch get a generous
+      // shared carveout, others leave the pool to L1.
+      c = w.uses_shared
+              ? std::clamp(w.shared_per_sm / (a.l1_total_kb() * 1024.0), 0.125,
+                           0.875)
+              : 0.125;
+    }
+    shared_kb = a.l1_total_kb() * c;
+    l1_kb = a.l1_total_kb() - shared_kb;
+  }
+
+  // --- memory time -------------------------------------------------------
+  // Unique traffic always comes from HBM. Reuse traffic is served by the
+  // highest cache level whose capacity covers the working set; capacity
+  // coverage degrades smoothly (partial residency -> partial hits).
+  const double l1_bytes = l1_kb * 1024.0 * a.num_sm;
+  const double l1_bw = 16.0 * a.hbm_bw;  // aggregate L1 ~ an order above HBM
+  const double l2_bw = 4.0 * a.hbm_bw;
+  double t_reuse = 0.0;
+  if (w.reuse_bytes > 0.0) {
+    const double ws = std::max(w.working_set, 1.0);
+    const double l1_frac = std::min(1.0, l1_bytes / ws);
+    const double l2_frac =
+        std::min(1.0 - l1_frac, std::max(0.0, a.l2_bytes / ws - l1_frac));
+    const double hbm_frac = std::max(0.0, 1.0 - l1_frac - l2_frac);
+    t_reuse = w.reuse_bytes * (l1_frac / l1_bw + l2_frac / l2_bw +
+                               hbm_frac / a.hbm_bw);
+  }
+  out.t_mem = w.unique_bytes / a.hbm_bw + t_reuse;
+
+  // --- compute and atomics ------------------------------------------------
+  out.t_flop = w.flops / a.fp64;
+  out.t_atomic = w.atomics / a.atomic_rate;
+
+  // --- occupancy / saturation ---------------------------------------------
+  // Shared-memory pressure: occupancy proportional to how much scratch fits
+  // ("occupancy is proportional to shared memory utilisation", §4.4).
+  out.occupancy = 1.0;
+  if (w.uses_shared && w.shared_per_sm > 0.0) {
+    const double avail = shared_kb * 1024.0;
+    out.occupancy = std::clamp(avail / w.shared_per_sm, 0.05, 1.0);
+  }
+  // Parallel saturation: p/(p + p_half) rises to 1 as exposed work exceeds
+  // the device's concurrency (Fig. 4's saturation curve).
+  const double p = std::max(w.parallel_items, 1.0);
+  out.saturation = p / (p + a.saturation_threads);
+
+  const double t_exec = std::max({out.t_mem, out.t_flop, out.t_atomic}) /
+                        (out.saturation * out.occupancy);
+  out.t_launch = w.launches * a.launch_latency;
+  out.seconds = t_exec + out.t_launch;
+
+  out.limiter = "mem";
+  if (out.t_flop >= out.t_mem && out.t_flop >= out.t_atomic)
+    out.limiter = "fp64";
+  else if (out.t_atomic >= out.t_mem && out.t_atomic >= out.t_flop)
+    out.limiter = "atomic";
+  if (out.t_launch > t_exec) out.limiter = "launch";
+  return out;
+}
+
+double GpuModel::total_seconds(const std::vector<KernelWorkload>& ws) const {
+  double t = 0.0;
+  for (const auto& w : ws) t += time(w).seconds;
+  return t;
+}
+
+}  // namespace mlk::perf

@@ -1,0 +1,66 @@
+// Analytical GPU kernel timing model.
+//
+// Substitute for the real hardware of the paper's evaluation (see
+// DESIGN.md): an extended roofline that prices, per kernel launch,
+//   * DRAM traffic (unique bytes / HBM bandwidth),
+//   * cache-served reuse traffic (working set vs L1 / L2 capacity, with a
+//     carveout-adjustable L1 on NVIDIA — the §4.4 experiment),
+//   * FP64 arithmetic,
+//   * thread-atomic operations,
+//   * occupancy loss from shared-memory usage,
+//   * parallel saturation (not enough exposed work, Fig. 4's left side),
+//   * kernel launch latency (Fig. 4 / Fig. 7 small-problem limits).
+//
+// Workload descriptors are produced from *measured* quantities of the real
+// kernels running on this CPU (neighbor counts, quad survival, CG
+// iterations, SNAP index sizes), so shapes follow real algorithmic behavior.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/archdb.hpp"
+
+namespace mlk::perf {
+
+struct KernelWorkload {
+  std::string name;
+  double flops = 0;           // FP64 operations
+  double unique_bytes = 0;    // compulsory DRAM traffic
+  double reuse_bytes = 0;     // traffic served by caches when resident
+  double working_set = 0;     // bytes that must fit for reuse to hit in L1
+  double atomics = 0;         // FP64 atomic ops
+  double parallel_items = 0;  // exposed concurrency (work items)
+  double shared_per_sm = 0;   // bytes of scratch needed per SM for full occ.
+  bool uses_shared = false;
+  int launches = 1;
+};
+
+struct KernelTime {
+  double seconds = 0;
+  double t_mem = 0, t_flop = 0, t_atomic = 0, t_launch = 0;
+  double saturation = 1.0, occupancy = 1.0;
+  const char* limiter = "mem";
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuArch& a) : arch_(a) {}
+
+  /// NVIDIA shared-memory carveout (fraction of the unified pool reserved
+  /// for shared memory). Negative = the built-in heuristic (§4.4): pick
+  /// per-kernel from its shared usage.
+  double carveout = -1.0;
+
+  KernelTime time(const KernelWorkload& w) const;
+
+  /// Sum over a kernel sequence (one timestep, typically).
+  double total_seconds(const std::vector<KernelWorkload>& ws) const;
+
+  const GpuArch& arch() const { return arch_; }
+
+ private:
+  GpuArch arch_;
+};
+
+}  // namespace mlk::perf

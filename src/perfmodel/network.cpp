@@ -1,0 +1,41 @@
+#include "perfmodel/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlk::perf {
+
+ScalingPoint MachineModel::step_time(
+    bigint global_atoms, int nodes,
+    const std::function<std::vector<KernelWorkload>(bigint)>& gpu_workloads,
+    double density, double ghost_cut, double bytes_per_ghost,
+    double extra_halo_rounds, double allreduces) const {
+  ScalingPoint out;
+  out.nodes = nodes;
+  const double ngpus = double(nodes) * machine_.gpus_per_node;
+  const double n_local = double(global_atoms) / ngpus;
+  out.atoms_per_gpu = n_local;
+
+  out.t_gpu = gpu_.total_seconds(gpu_workloads(bigint(std::max(n_local, 1.0))));
+
+  // Halo: ghost shell of thickness ghost_cut around a cubic sub-domain.
+  const double sub_vol = n_local / density;
+  const double sub_len = std::cbrt(std::max(sub_vol, 1e-30));
+  const double ghost_vol = std::pow(sub_len + 2.0 * ghost_cut, 3.0) - sub_vol;
+  const double ghosts = density * ghost_vol;
+  // 6 swaps, forward each step (+ reverse for ghost-force styles folded into
+  // bytes_per_ghost); message latency per swap pair.
+  const double t_bw =
+      ghosts * (bytes_per_ghost + 8.0 * extra_halo_rounds) / machine_.nic_bw;
+  const double t_lat = 12.0 * machine_.nic_latency * (1.0 + extra_halo_rounds);
+  // Global reductions: log2(P) hops each.
+  const double t_coll = 2.0 * std::log2(std::max(ngpus, 2.0)) *
+                        machine_.nic_latency * allreduces;
+  out.t_comm = t_bw + t_lat + t_coll;
+
+  out.steps_per_second =
+      1.0 / (out.t_gpu + out.t_comm + machine_.host_overhead);
+  return out;
+}
+
+}  // namespace mlk::perf

@@ -1,0 +1,56 @@
+// Machine-level strong-scaling model (§5.2, Appendix C).
+//
+// One MPI rank per logical GPU. Per timestep:
+//   t_step = t_gpu(n_local) + t_halo + t_collectives
+// where t_halo exchanges ghost shells (surface scaling) over the NIC and
+// t_collectives is a log(P) latency term. The paper observes relative
+// machine performance dominated by single-GPU speed with "network effects
+// subleading" — which this decomposition reproduces while still bending the
+// deep-strong-scaling tail (Fig. 6/7).
+#pragma once
+
+#include <functional>
+
+#include "perfmodel/archdb.hpp"
+#include "perfmodel/gpumodel.hpp"
+#include "util/types.hpp"
+
+namespace mlk::perf {
+
+struct ScalingPoint {
+  int nodes = 0;
+  double atoms_per_gpu = 0;
+  double t_gpu = 0;
+  double t_comm = 0;
+  double steps_per_second = 0;
+};
+
+class MachineModel {
+ public:
+  MachineModel(const Machine& m, double carveout = -1.0)
+      : machine_(m), gpu_(arch(m.gpu)) {
+    gpu_.carveout = carveout;
+  }
+
+  /// Strong-scale a global problem across `nodes`.
+  /// `gpu_workloads(n_local)` yields the per-step kernel sequence.
+  /// `density` (atoms/A^3 equivalent) and `ghost_cut` set halo volume;
+  /// `bytes_per_ghost` the exchange payload (forward+reverse per step).
+  /// `extra_halo_rounds`: additional per-step ghost exchanges beyond the
+  /// position forward (ReaxFF: one per QEq CG iteration, 8 bytes/ghost).
+  /// `allreduces`: global reductions per step (ReaxFF: 2 per CG iteration).
+  ScalingPoint step_time(
+      bigint global_atoms, int nodes,
+      const std::function<std::vector<KernelWorkload>(bigint)>& gpu_workloads,
+      double density, double ghost_cut, double bytes_per_ghost = 48.0,
+      double extra_halo_rounds = 0.0, double allreduces = 1.0) const;
+
+  const Machine& machine() const { return machine_; }
+  const GpuModel& gpu() const { return gpu_; }
+
+ private:
+  Machine machine_;
+  GpuModel gpu_;
+};
+
+}  // namespace mlk::perf

@@ -1,0 +1,178 @@
+#include "reaxff/angle.hpp"
+
+#include <cmath>
+
+#include "kokkos/core.hpp"
+#include "util/error.hpp"
+
+namespace mlk::reaxff {
+
+namespace {
+
+/// Energy + forces of one valence angle (center c, bond slots a and b).
+/// Forces are accumulated atomically; energy/virial into ev.
+template <class BondsT, class FView>
+inline void angle_term(const ReaxParams& p, const BondsT& bonds,
+                       const FView& f, std::size_t c, int a, int b, bool eflag,
+                       EV& ev) {
+  const double rax = bonds.dr(c, std::size_t(a), 0);
+  const double ray = bonds.dr(c, std::size_t(a), 1);
+  const double raz = bonds.dr(c, std::size_t(a), 2);
+  const double la = bonds.dr(c, std::size_t(a), 3);
+  const double rbx = bonds.dr(c, std::size_t(b), 0);
+  const double rby = bonds.dr(c, std::size_t(b), 1);
+  const double rbz = bonds.dr(c, std::size_t(b), 2);
+  const double lb = bonds.dr(c, std::size_t(b), 3);
+
+  // Threshold-shifted bond-order factors: (BO - bo_cut) vanishes exactly
+  // where the bond leaves the list, keeping the potential continuous as
+  // bonds form and break.
+  const double boa = bonds.bo(c, std::size_t(a)) - p.bo_cut;
+  const double bob = bonds.bo(c, std::size_t(b)) - p.bo_cut;
+  const double dboa = bonds.dbo(c, std::size_t(a));
+  const double dbob = bonds.dbo(c, std::size_t(b));
+
+  const double inv_ab = 1.0 / (la * lb);
+  const double cosq = (rax * rbx + ray * rby + raz * rbz) * inv_ab;
+  const double c0 = std::cos(p.theta0);
+  const double dc = cosq - c0;
+  const double g = dc * dc;
+  const double gp = 2.0 * dc;
+
+  // dE/dra and dE/drb (vectors).
+  const double pre_boa = p.k_th * dboa * bob * g / la;  // along ra
+  const double pre_bob = p.k_th * boa * dbob * g / lb;  // along rb
+  const double pre_c = p.k_th * boa * bob * gp;
+
+  double dEdra[3], dEdrb[3];
+  const double ra[3] = {rax, ray, raz}, rb[3] = {rbx, rby, rbz};
+  for (int d = 0; d < 3; ++d) {
+    const double dcos_da = rb[d] * inv_ab - cosq * ra[d] / (la * la);
+    const double dcos_db = ra[d] * inv_ab - cosq * rb[d] / (lb * lb);
+    dEdra[d] = pre_boa * ra[d] + pre_c * dcos_da;
+    dEdrb[d] = pre_bob * rb[d] + pre_c * dcos_db;
+  }
+
+  const std::size_t j = std::size_t(bonds.j(c, std::size_t(a)));
+  const std::size_t k = std::size_t(bonds.j(c, std::size_t(b)));
+  for (std::size_t d = 0; d < 3; ++d) {
+    kk::atomic_add(&f(j, d), -dEdra[d]);
+    kk::atomic_add(&f(k, d), -dEdrb[d]);
+    kk::atomic_add(&f(c, d), dEdra[d] + dEdrb[d]);
+  }
+  if (eflag) {
+    ev.evdwl += p.k_th * boa * bob * g;
+    // Site virial: W = ra (x) F_j + rb (x) F_k.
+    ev.v[0] += ra[0] * -dEdra[0] + rb[0] * -dEdrb[0];
+    ev.v[1] += ra[1] * -dEdra[1] + rb[1] * -dEdrb[1];
+    ev.v[2] += ra[2] * -dEdra[2] + rb[2] * -dEdrb[2];
+    ev.v[3] += ra[0] * -dEdra[1] + rb[0] * -dEdrb[1];
+    ev.v[4] += ra[0] * -dEdra[2] + rb[0] * -dEdrb[2];
+    ev.v[5] += ra[1] * -dEdra[2] + rb[1] * -dEdrb[2];
+  }
+}
+
+}  // namespace
+
+template <class Space>
+void build_triples(const BondList<Space>& bonds, localint nlocal,
+                   TripleList<Space>& out) {
+  auto nb = bonds.nbonds;
+  // Count pass (divergent, cheap).
+  kk::View1D<bigint, Space> counts("reax::triple_counts",
+                                   std::size_t(std::max<localint>(nlocal, 1)));
+  kk::parallel_for("ReaxFF::TripleCount",
+                   kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                   [=](std::size_t c) {
+                     const int n = nb(c);
+                     counts(c) = bigint(n) * (n - 1) / 2;
+                   });
+  // Offsets via exclusive scan (bigint: can exceed 2^31 at scale, App. B).
+  kk::View1D<bigint, Space> offsets("reax::triple_offsets",
+                                    std::size_t(std::max<localint>(nlocal, 1)));
+  bigint total = 0;
+  kk::parallel_scan("ReaxFF::TripleScan",
+                    kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                    [=](std::size_t c, bigint& update, bool final) {
+                      if (final) offsets(c) = update;
+                      update += counts(c);
+                    },
+                    total);
+  out.count = total;
+  out.triples = kk::View1D<int3, Space>("reax::triples",
+                                        std::size_t(std::max<bigint>(total, 1)));
+  auto triples = out.triples;
+  // Fill pass: triples of an atom are contiguous (cache reuse downstream).
+  kk::parallel_for("ReaxFF::TripleFill",
+                   kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                   [=](std::size_t c) {
+                     bigint w = offsets(c);
+                     const int n = nb(c);
+                     for (int a = 0; a < n; ++a)
+                       for (int b = a + 1; b < n; ++b)
+                         triples(std::size_t(w++)) = int3{int(c), a, b};
+                   });
+}
+
+template <class Space>
+EV compute_angles_direct(const ReaxParams& p, Atom& atom,
+                         const BondList<Space>& bonds, bool eflag) {
+  atom.sync<Space>(F_MASK);
+  auto f = atom.k_f.view<Space>();
+  const localint nlocal = atom.nlocal;
+  const ReaxParams params = p;
+  const BondList<Space> b = bonds;
+
+  EV total;
+  kk::parallel_reduce(
+      "ReaxFF::AnglesDirect", kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+      [=](std::size_t c, EV& ev) {
+        const int n = b.nbonds(c);
+        // Divergent nested loop: most (a, b) slots idle past nbonds.
+        for (int a = 0; a < b.maxbonds; ++a)
+          for (int bb = a + 1; bb < b.maxbonds; ++bb) {
+            if (a >= n || bb >= n) continue;  // the divergence being measured
+            angle_term(params, b, f, c, a, bb, eflag, ev);
+          }
+      },
+      total);
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+template <class Space>
+EV compute_angles_preprocessed(const ReaxParams& p, Atom& atom,
+                               const BondList<Space>& bonds,
+                               const TripleList<Space>& triples, bool eflag) {
+  atom.sync<Space>(F_MASK);
+  auto f = atom.k_f.view<Space>();
+  const ReaxParams params = p;
+  const BondList<Space> b = bonds;
+  auto trip = triples.triples;
+
+  EV total;
+  kk::parallel_reduce(
+      "ReaxFF::AnglesPreprocessed",
+      kk::RangePolicy<Space>(0, std::size_t(triples.count)),
+      [=](std::size_t t, EV& ev) {
+        const int3 e = trip(t);
+        angle_term(params, b, f, std::size_t(e.i), e.j, e.k, eflag, ev);
+      },
+      total);
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+#define INSTANTIATE(S)                                                    \
+  template void build_triples<S>(const BondList<S>&, localint,           \
+                                 TripleList<S>&);                        \
+  template EV compute_angles_direct<S>(const ReaxParams&, Atom&,         \
+                                       const BondList<S>&, bool);        \
+  template EV compute_angles_preprocessed<S>(const ReaxParams&, Atom&,   \
+                                             const BondList<S>&,         \
+                                             const TripleList<S>&, bool);
+INSTANTIATE(kk::Host)
+INSTANTIATE(kk::Device)
+#undef INSTANTIATE
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,40 @@
+// Three-body valence-angle term (§4.2.1's discussion "carries over exactly
+// to the three-body force"). Two interchangeable implementations:
+//   * compute_angles_direct   — the divergent baseline: nested loop over all
+//                               bond pairs with the conditionals inline;
+//   * build_triples + compute_angles_preprocessed — the paper's pattern:
+//     count/fill a compressed int3 triple table, then a fully convergent
+//     compute kernel parallel over triples.
+// Both produce identical energies/forces (tested); the bench compares their
+// modelled GPU cost.
+#pragma once
+
+#include "engine/atom.hpp"
+#include "pair/pair_compute_kokkos.hpp"
+#include "reaxff/bond_order.hpp"
+
+namespace mlk::reaxff {
+
+/// Compressed triple list: (j center, a, b) as bond slot indices of row j.
+template <class Space>
+struct TripleList {
+  kk::View1D<int3, Space> triples;
+  bigint count = 0;
+};
+
+template <class Space>
+void build_triples(const BondList<Space>& bonds, localint nlocal,
+                   TripleList<Space>& out);
+
+/// Divergent baseline: returns energy/virial, accumulates forces (atomic).
+template <class Space>
+EV compute_angles_direct(const ReaxParams& p, Atom& atom,
+                         const BondList<Space>& bonds, bool eflag);
+
+/// Convergent compute over a pre-built triple table.
+template <class Space>
+EV compute_angles_preprocessed(const ReaxParams& p, Atom& atom,
+                               const BondList<Space>& bonds,
+                               const TripleList<Space>& triples, bool eflag);
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,123 @@
+#include "reaxff/bond_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kokkos/core.hpp"
+#include "util/error.hpp"
+
+namespace mlk::reaxff {
+
+template <class Space>
+bigint BondList<Space>::total_bonds() const {
+  bigint total = 0;
+  for (localint i = 0; i < nlocal; ++i) total += nbonds(std::size_t(i));
+  return total;
+}
+
+template <class Space>
+void build_bond_list(const ReaxParams& p, Atom& atom, const NeighborList& list,
+                     BondList<Space>& bonds) {
+  require(list.style == NeighStyle::Full,
+          "reaxff: bond list needs a full neighbor list");
+  atom.sync<Space>(X_MASK);
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  auto x = atom.k_x.view<Space>();
+  auto neigh = l.k_neighbors.view<Space>();
+  auto numneigh = l.k_numneigh.view<Space>();
+
+  // Rows for owned atoms plus ghosts (torsions walk bonds of bonded ghosts).
+  const localint natom = list.inum + list.gnum;
+  bonds.natom = natom;
+  bonds.nlocal = list.inum;
+  const double rc = p.rcut_bond;
+  const double rcsq = rc * rc;
+  const ReaxParams params = p;
+
+  // Phase 1 (divergent, cheap): count surviving bonds per atom.
+  kk::View1D<int, Space> counts("reax::bond_counts",
+                                std::size_t(std::max<localint>(natom, 1)));
+  kk::parallel_for("ReaxFF::BondCount",
+                   kk::RangePolicy<Space>(0, std::size_t(natom)),
+                   [=](std::size_t i) {
+                     int c = 0;
+                     const int jnum = numneigh(i);
+                     for (int jj = 0; jj < jnum; ++jj) {
+                       const int j = neigh(i, std::size_t(jj));
+                       const double dx = x(std::size_t(j), 0) - x(i, 0);
+                       const double dy = x(std::size_t(j), 1) - x(i, 1);
+                       const double dz = x(std::size_t(j), 2) - x(i, 2);
+                       const double rsq = dx * dx + dy * dy + dz * dz;
+                       if (rsq >= rcsq || rsq < 1e-20) continue;
+                       if (bond_order(params, std::sqrt(rsq)) > params.bo_cut)
+                         ++c;
+                     }
+                     counts(i) = c;
+                   });
+  int maxb = 0;
+  kk::parallel_reduce_impl(
+      "ReaxFF::BondMax", kk::RangePolicy<Space>(0, std::size_t(natom)),
+      [=](std::size_t i, int& m) {
+        if (counts(i) > m) m = counts(i);
+      },
+      kk::Max<int>(maxb));
+  bonds.maxbonds = std::max(maxb, 1);
+
+  const std::size_t rows = std::size_t(std::max<localint>(natom, 1));
+  bonds.j = kk::View2D<int, Space>("reax::bond_j", rows,
+                                   std::size_t(bonds.maxbonds));
+  bonds.bo = kk::View2D<double, Space>("reax::bond_bo", rows,
+                                       std::size_t(bonds.maxbonds));
+  bonds.dbo = kk::View2D<double, Space>("reax::bond_dbo", rows,
+                                        std::size_t(bonds.maxbonds));
+  bonds.dr = kk::View3D<double, Space>("reax::bond_dr", rows,
+                                       std::size_t(bonds.maxbonds), 4);
+  bonds.nbonds = kk::View1D<int, Space>("reax::nbonds", rows);
+
+  auto bj = bonds.j;
+  auto bbo = bonds.bo;
+  auto bdbo = bonds.dbo;
+  auto bdr = bonds.dr;
+  auto bn = bonds.nbonds;
+
+  // Phase 2: fill the compressed table (consumers are convergent).
+  kk::parallel_for(
+      "ReaxFF::BondFill", kk::RangePolicy<Space>(0, std::size_t(natom)),
+      [=](std::size_t i) {
+        int c = 0;
+        const int jnum = numneigh(i);
+        for (int jj = 0; jj < jnum; ++jj) {
+          const int j = neigh(i, std::size_t(jj));
+          const double dx = x(std::size_t(j), 0) - x(i, 0);
+          const double dy = x(std::size_t(j), 1) - x(i, 1);
+          const double dz = x(std::size_t(j), 2) - x(i, 2);
+          const double rsq = dx * dx + dy * dy + dz * dz;
+          if (rsq >= rcsq || rsq < 1e-20) continue;
+          const double r = std::sqrt(rsq);
+          const double bo = bond_order(params, r);
+          if (bo <= params.bo_cut) continue;
+          bj(i, std::size_t(c)) = j;
+          bbo(i, std::size_t(c)) = bo;
+          bdbo(i, std::size_t(c)) = dbond_order(params, r);
+          bdr(i, std::size_t(c), 0) = dx;
+          bdr(i, std::size_t(c), 1) = dy;
+          bdr(i, std::size_t(c), 2) = dz;
+          bdr(i, std::size_t(c), 3) = r;
+          ++c;
+        }
+        bn(i) = c;
+      });
+}
+
+template struct BondList<kk::Host>;
+template struct BondList<kk::Device>;
+template void build_bond_list<kk::Host>(const ReaxParams&, Atom&,
+                                        const NeighborList&,
+                                        BondList<kk::Host>&);
+template void build_bond_list<kk::Device>(const ReaxParams&, Atom&,
+                                          const NeighborList&,
+                                          BondList<kk::Device>&);
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,40 @@
+// Dynamic bond-order neighbor list (§4.2.1 pre-processing pattern).
+//
+// The bond list is rebuilt every step from the geometric neighbor list via
+// the two-phase divergent pre-processing the paper describes: a count kernel
+// evaluates the cheap conditionals (distance + bond-order threshold) and a
+// fill kernel writes a *compressed* 2-D bond table, after which every
+// consumer kernel is fully convergent. 2-D storage per Appendix B (no flat
+// 1-D offsets that could overflow 32-bit indexing).
+#pragma once
+
+#include "engine/atom.hpp"
+#include "engine/neighbor.hpp"
+#include "kokkos/view.hpp"
+#include "reaxff/reaxff_types.hpp"
+
+namespace mlk::reaxff {
+
+template <class Space>
+struct BondList {
+  kk::View2D<int, Space> j;       // (natom, maxbonds) partner local index
+  kk::View2D<double, Space> bo;   // bond order per bond
+  kk::View2D<double, Space> dbo;  // dBO/dr per bond
+  kk::View3D<double, Space> dr;   // (natom, maxbonds, 4): dx dy dz r
+  kk::View1D<int, Space> nbonds;  // per-atom bond count
+  localint natom = 0;             // rows (owned atoms + ghosts)
+  localint nlocal = 0;            // owned-atom rows
+  int maxbonds = 0;
+
+  /// Total directed bonds of *owned* atoms (each local i-j bond appears in
+  /// both rows).
+  bigint total_bonds() const;
+};
+
+/// Build the bond list for owned atoms from a *full* neighbor list.
+/// Bonds to ghosts are kept (the partner index may be >= nlocal).
+template <class Space>
+void build_bond_list(const ReaxParams& p, Atom& atom, const NeighborList& list,
+                     BondList<Space>& bonds);
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,20 @@
+// Nonbonded ReaxFF terms: tapered Morse van der Waals over the full
+// geometric neighbor list (all neighboring atoms interact — §4's "pairwise
+// non-bonded interactions in which all neighboring atoms interact").
+// Coulomb lives with QEq (qeq.hpp) since it shares the H matrix.
+#pragma once
+
+#include "engine/atom.hpp"
+#include "engine/neighbor.hpp"
+#include "pair/pair_compute_kokkos.hpp"
+#include "reaxff/reaxff_types.hpp"
+
+namespace mlk::reaxff {
+
+/// Accumulates vdW forces into atom.k_f (owned atoms only, redundant-compute
+/// full-list style) and returns energy/virial.
+template <class Space>
+EV compute_vdw(const ReaxParams& p, Atom& atom, const NeighborList& list,
+               bool eflag);
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,62 @@
+// pair_style reaxff-lite — the reactive force field case study (§4.2),
+// orchestrating every kernel the paper analyzes:
+//   dynamic bond-order lists        (divergent pre-processing, §4.2.1)
+//   valence angles over triples     (three-body, pre-processed)
+//   torsions over constrained quads (four-body, int4 table, <5% survival)
+//   charge equilibration            (over-allocated CSR + fused dual CG,
+//                                    §4.2.2-4.2.3, Appendix B)
+//   tapered Morse vdW + shielded Coulomb (non-bonded, all neighbors)
+//
+// Dual-instantiated on the execution space and registered as reaxff-lite
+// (host) and reaxff-lite/kk (+/kk/host, /kk/device).
+#pragma once
+
+#include "engine/pair.hpp"
+#include "reaxff/angle.hpp"
+#include "reaxff/nonbonded.hpp"
+#include "reaxff/qeq.hpp"
+#include "reaxff/torsion.hpp"
+
+namespace mlk {
+
+template <class Space>
+class PairReaxFFLite : public Pair {
+ public:
+  PairReaxFFLite();
+
+  /// coeff: * * [preset]   (preset: "default" | "hns")
+  void coeff(const std::vector<std::string>& args) override;
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+  double cutoff() const override { return params_.rcut_nonb; }
+  NeighStyle neigh_style() const override { return NeighStyle::Full; }
+  bool newton() const override { return false; }
+  bool ghost_rows_needed() const override { return true; }
+
+  reaxff::ReaxParams& params() { return params_; }
+
+  /// Experiment knobs (§4.2 ablations).
+  bool use_preprocessing = true;       // compressed tables vs direct loops
+  reaxff::MatrixBuildMode qeq_build = reaxff::MatrixBuildMode::Flat;
+  bool qeq_fused = true;
+
+  // Last-step diagnostics for tests/benches.
+  const reaxff::QuadList<Space>& quads() const { return quads_; }
+  const reaxff::BondList<Space>& bonds() const { return bonds_; }
+  reaxff::QEq<Space>& qeq() { return qeq_; }
+  double last_ebond = 0.0, last_eangle = 0.0, last_etors = 0.0,
+         last_evdw = 0.0, last_ecoul = 0.0;
+
+ private:
+  EV compute_bond_energy(Atom& atom, bool eflag);
+
+  reaxff::ReaxParams params_;
+  reaxff::BondList<Space> bonds_;
+  reaxff::TripleList<Space> triples_;
+  reaxff::QuadList<Space> quads_;
+  reaxff::QEq<Space> qeq_{params_};
+};
+
+void register_pair_reaxff_lite();
+
+}  // namespace mlk

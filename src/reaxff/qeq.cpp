@@ -1,0 +1,380 @@
+#include "reaxff/qeq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kokkos/core.hpp"
+#include "kokkos/team.hpp"
+#include "pair/pair_compute_kokkos.hpp"
+#include "util/error.hpp"
+
+namespace mlk::reaxff {
+
+namespace {
+
+/// Pairwise electrostatic coefficient H(r) and its radial derivative.
+inline double h_value(const ReaxParams& p, double r, double gij) {
+  return kCoulombConst * taper7(r, p.rcut_nonb) * shielded_coulomb(r, gij);
+}
+
+inline double dh_dr(const ReaxParams& p, double r, double gij) {
+  return kCoulombConst * (dtaper7(r, p.rcut_nonb) * shielded_coulomb(r, gij) +
+                          taper7(r, p.rcut_nonb) * dshielded_coulomb(r, gij));
+}
+
+}  // namespace
+
+template <class Space>
+void QEq<Space>::build_matrix(Atom& atom, const NeighborList& list) {
+  require(list.style == NeighStyle::Full, "QEq needs a full neighbor list");
+  atom.sync<Space>(X_MASK | TYPE_MASK);
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  auto x = atom.k_x.view<Space>();
+  auto type = atom.k_type.view<Space>();
+  auto neigh = l.k_neighbors.view<Space>();
+  auto numneigh = l.k_numneigh.view<Space>();
+
+  const localint n = atom.nlocal;
+  H_.allocate_rows(n);
+  auto ro = H_.row_offset;
+
+  // Stage 1: over-allocated row offsets from the FULL neighbor counts —
+  // independent of the interaction cutoff (paper §4.2.2). Offsets are
+  // bigint so total capacity can exceed 2^31 entries (Appendix B).
+  bigint capacity = 0;
+  kk::parallel_scan("QEq::offsets", kk::RangePolicy<Space>(0, std::size_t(n)),
+                    [=](std::size_t i, bigint& update, bool final) {
+                      if (final) ro(i) = update;
+                      update += numneigh(i);
+                    },
+                    capacity);
+  ro(std::size_t(n)) = capacity;
+  H_.capacity = capacity;
+  H_.col = kk::View1D<int, Space>("oacsr::col",
+                                  std::size_t(std::max<bigint>(capacity, 1)));
+  H_.val = kk::View1D<double, Space>(
+      "oacsr::val", std::size_t(std::max<bigint>(capacity, 1)));
+
+  auto rc = H_.row_count;
+  auto col = H_.col;
+  auto val = H_.val;
+  const ReaxParams p = params_;
+  const double cutsq = p.rcut_nonb * p.rcut_nonb;
+
+  if (build_mode == MatrixBuildMode::Flat) {
+    // One row per work item (host-friendly; divergent on devices).
+    kk::parallel_for(
+        "QEq::BuildFlat", kk::RangePolicy<Space>(0, std::size_t(n)),
+        [=](std::size_t i) {
+          const bigint beg = ro(i);
+          int c = 0;
+          const int jnum = numneigh(i);
+          const double gi = p.gamma[type(i)];
+          for (int jj = 0; jj < jnum; ++jj) {
+            const int j = neigh(i, std::size_t(jj));
+            const double dx = x(i, 0) - x(std::size_t(j), 0);
+            const double dy = x(i, 1) - x(std::size_t(j), 1);
+            const double dz = x(i, 2) - x(std::size_t(j), 2);
+            const double rsq = dx * dx + dy * dy + dz * dz;
+            if (rsq >= cutsq || rsq < 1e-20) continue;
+            const double r = std::sqrt(rsq);
+            const double gij = std::sqrt(gi * p.gamma[type(std::size_t(j))]);
+            const std::size_t w = std::size_t(beg + c);
+            col(w) = j;
+            val(w) = h_value(p, r, gij);
+            ++c;
+          }
+          rc(i) = c;
+        });
+  } else {
+    // Hierarchical: one team per row; entries counted with a vector-range
+    // reduction and slotted with a vector-range scan (§4.2.2). On real GPUs
+    // this restores convergent memory access across lanes of a row.
+    kk::TeamPolicy<Space> policy(std::size_t(n), 1, 32);
+    kk::parallel_for(
+        "QEq::BuildHierarchical", policy, [=](const kk::TeamMember& m) {
+          const std::size_t i = m.league_rank();
+          const bigint beg = ro(i);
+          const int jnum = numneigh(i);
+          const double gi = p.gamma[type(i)];
+          // Hierarchical reduction: number of nonzeros in the row.
+          int cnt = 0;
+          kk::parallel_reduce(kk::ThreadVectorRange(m, std::size_t(jnum)),
+                              [&](std::size_t jj, int& c) {
+                                const int j = neigh(i, jj);
+                                const double dx = x(i, 0) - x(std::size_t(j), 0);
+                                const double dy = x(i, 1) - x(std::size_t(j), 1);
+                                const double dz = x(i, 2) - x(std::size_t(j), 2);
+                                const double rsq = dx * dx + dy * dy + dz * dz;
+                                if (rsq < cutsq && rsq > 1e-20) ++c;
+                              },
+                              cnt);
+          rc(i) = cnt;
+          // Hierarchical scan: slot values into the over-allocated row.
+          int total = 0;
+          kk::parallel_scan(
+              kk::TeamThreadRange(m, std::size_t(jnum)),
+              [&](std::size_t jj, int& update, bool final) {
+                const int j = neigh(i, jj);
+                const double dx = x(i, 0) - x(std::size_t(j), 0);
+                const double dy = x(i, 1) - x(std::size_t(j), 1);
+                const double dz = x(i, 2) - x(std::size_t(j), 2);
+                const double rsq = dx * dx + dy * dy + dz * dz;
+                if (rsq >= cutsq || rsq < 1e-20) return;
+                if (final) {
+                  const double r = std::sqrt(rsq);
+                  const double gij =
+                      std::sqrt(gi * p.gamma[type(std::size_t(j))]);
+                  const std::size_t w = std::size_t(beg + update);
+                  col(w) = j;
+                  val(w) = h_value(p, r, gij);
+                }
+                update += 1;
+              },
+              total);
+        });
+  }
+}
+
+template <class Space>
+void QEq<Space>::matvec(Atom& atom, CommBrick& comm,
+                        const kk::View1D<double, Space>& x,
+                        const kk::View1D<double, Space>& y) {
+  // Ghost columns need the owner's value: stage into a DualView-backed
+  // buffer covering nall and forward-communicate.
+  const localint nlocal = atom.nlocal;
+  const localint nall = atom.nall();
+  static thread_local kk::DualView<double, 1> xg;
+  if (!xg.is_allocated() || xg.extent(0) < std::size_t(nall))
+    xg.realloc(std::size_t(nall) + 256);
+  auto xgv = xg.template view<Space>();
+  kk::parallel_for("QEq::gather", kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                   [=](std::size_t i) { xgv(i) = x(i); });
+  xg.template modify<Space>();
+  comm.forward_scalar(xg);
+  xg.template sync<Space>();
+  xgv = xg.template view<Space>();
+
+  H_.spmv(xgv, y);
+  // + diag(eta) x.
+  auto type = atom.k_type.view<Space>();
+  const ReaxParams p = params_;
+  kk::parallel_for("QEq::eta", kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                   [=](std::size_t i) { y(i) += p.eta[type(i)] * x(i); });
+}
+
+namespace {
+template <class Space, class V>
+double dot_local(const V& a, const V& b, std::size_t n) {
+  double out = 0.0;
+  kk::parallel_reduce("QEq::dot", kk::RangePolicy<Space>(0, n),
+                      [=](std::size_t i, double& s) { s += a(i) * b(i); },
+                      out);
+  return out;
+}
+}  // namespace
+
+template <class Space>
+int QEq<Space>::solve(Atom& atom, CommBrick& comm, simmpi::Comm* mpi) {
+  const localint n = atom.nlocal;
+  const std::size_t ns = std::size_t(std::max<localint>(n, 1));
+  atom.sync<Space>(TYPE_MASK | Q_MASK);
+  auto type = atom.k_type.view<Space>();
+  const ReaxParams p = params_;
+  auto reduce = [&](double v) { return mpi ? mpi->allreduce_sum(v) : v; };
+
+  // Two RHS: b1 = -chi (per type), b2 = -1.
+  kk::View1D<double, Space> s("qeq::s", ns), t("qeq::t", ns);
+  kk::View1D<double, Space> r1("qeq::r1", ns), r2("qeq::r2", ns);
+  kk::View1D<double, Space> p1("qeq::p1", ns), p2("qeq::p2", ns);
+  kk::View1D<double, Space> ap1("qeq::ap1", ns), ap2("qeq::ap2", ns);
+
+  kk::parallel_for("QEq::init", kk::RangePolicy<Space>(0, std::size_t(n)),
+                   [=](std::size_t i) {
+                     s(i) = 0.0;
+                     t(i) = 0.0;
+                     r1(i) = -p.chi[type(i)];
+                     r2(i) = -1.0;
+                     p1(i) = r1(i);
+                     p2(i) = r2(i);
+                   });
+
+  double rr1 = reduce(dot_local<Space>(r1, r1, std::size_t(n)));
+  double rr2 = reduce(dot_local<Space>(r2, r2, std::size_t(n)));
+  const double b1norm = std::sqrt(std::max(rr1, 1e-300));
+  const double b2norm = std::sqrt(std::max(rr2, 1e-300));
+  bool conv1 = false, conv2 = false;
+
+  int iters = 0;
+  for (; iters < params_.qeq_maxiter; ++iters) {
+    conv1 = std::sqrt(rr1) / b1norm < params_.qeq_tolerance;
+    conv2 = std::sqrt(rr2) / b2norm < params_.qeq_tolerance;
+    if (conv1 && conv2) break;
+
+    if (fused_solve) {
+      // Fused dual matvec: single pass over the matrix for both systems.
+      // Gather+forward both vectors, then spmv_dual (the §4.2.3 fusion).
+      const localint nall = atom.nall();
+      static thread_local kk::DualView<double, 1> xg1, xg2;
+      if (!xg1.is_allocated() || xg1.extent(0) < std::size_t(nall)) {
+        xg1.realloc(std::size_t(nall) + 256);
+        xg2.realloc(std::size_t(nall) + 256);
+      }
+      auto x1v = xg1.template view<Space>();
+      auto x2v = xg2.template view<Space>();
+      auto p1v = p1, p2v = p2;
+      kk::parallel_for("QEq::gather2",
+                       kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) {
+                         x1v(i) = p1v(i);
+                         x2v(i) = p2v(i);
+                       });
+      xg1.template modify<Space>();
+      xg2.template modify<Space>();
+      comm.forward_scalar(xg1);
+      comm.forward_scalar(xg2);
+      xg1.template sync<Space>();
+      xg2.template sync<Space>();
+      H_.spmv_dual(xg1.template view<Space>(), xg2.template view<Space>(),
+                   ap1, ap2);
+      auto ap1v = ap1, ap2v = ap2;
+      kk::parallel_for("QEq::eta2", kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) {
+                         ap1v(i) += p.eta[type(i)] * p1v(i);
+                         ap2v(i) += p.eta[type(i)] * p2v(i);
+                       });
+    } else {
+      matvec(atom, comm, p1, ap1);
+      matvec(atom, comm, p2, ap2);
+    }
+
+    // Independent CG updates per system (frozen once converged).
+    if (!conv1) {
+      const double alpha = rr1 / reduce(dot_local<Space>(p1, ap1, std::size_t(n)));
+      auto sv = s, r1v = r1, p1v = p1, ap1v = ap1;
+      kk::parallel_for("QEq::upd1", kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) {
+                         sv(i) += alpha * p1v(i);
+                         r1v(i) -= alpha * ap1v(i);
+                       });
+      const double rr_new = reduce(dot_local<Space>(r1, r1, std::size_t(n)));
+      const double beta = rr_new / rr1;
+      rr1 = rr_new;
+      kk::parallel_for("QEq::dir1", kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) { p1v(i) = r1v(i) + beta * p1v(i); });
+    }
+    if (!conv2) {
+      const double alpha = rr2 / reduce(dot_local<Space>(p2, ap2, std::size_t(n)));
+      auto tv = t, r2v = r2, p2v = p2, ap2v = ap2;
+      kk::parallel_for("QEq::upd2", kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) {
+                         tv(i) += alpha * p2v(i);
+                         r2v(i) -= alpha * ap2v(i);
+                       });
+      const double rr_new = reduce(dot_local<Space>(r2, r2, std::size_t(n)));
+      const double beta = rr_new / rr2;
+      rr2 = rr_new;
+      kk::parallel_for("QEq::dir2", kk::RangePolicy<Space>(0, std::size_t(n)),
+                       [=](std::size_t i) { p2v(i) = r2v(i) + beta * p2v(i); });
+    }
+  }
+  last_iters_ = iters;
+
+  // q = s - t * (sum s / sum t); charge neutrality by construction.
+  double ssum = 0.0, tsum = 0.0;
+  kk::parallel_reduce("QEq::ssum", kk::RangePolicy<Space>(0, std::size_t(n)),
+                      [=](std::size_t i, double& a) { a += s(i); }, ssum);
+  kk::parallel_reduce("QEq::tsum", kk::RangePolicy<Space>(0, std::size_t(n)),
+                      [=](std::size_t i, double& a) { a += t(i); }, tsum);
+  ssum = reduce(ssum);
+  tsum = reduce(tsum);
+  require(std::abs(tsum) > 1e-300, "QEq: singular neutrality projection");
+  const double mu = ssum / tsum;
+
+  atom.sync<Space>(Q_MASK);
+  auto q = atom.k_q.view<Space>();
+  kk::parallel_for("QEq::setq", kk::RangePolicy<Space>(0, std::size_t(n)),
+                   [=](std::size_t i) { q(i) = s(i) - mu * t(i); });
+  atom.modified<Space>(Q_MASK);
+  comm.forward_charges(atom);
+  return iters;
+}
+
+template <class Space>
+double QEq<Space>::energy(Atom& atom) const {
+  const localint n = atom.nlocal;
+  atom.sync<Space>(Q_MASK | TYPE_MASK);
+  auto q = atom.k_q.view<Space>();
+  auto type = atom.k_type.view<Space>();
+  const ReaxParams p = params_;
+
+  // Pair part: 0.5 q^T H q over owned rows (ghost q already current).
+  kk::View1D<double, Space> hq("qeq::hq",
+                               std::size_t(std::max<localint>(n, 1)));
+  H_.spmv(q, hq);
+  double e = 0.0;
+  kk::parallel_reduce("QEq::energy", kk::RangePolicy<Space>(0, std::size_t(n)),
+                      [=](std::size_t i, double& a) {
+                        a += p.chi[type(i)] * q(i) +
+                             0.5 * p.eta[type(i)] * q(i) * q(i) +
+                             0.5 * q(i) * hq(i);
+                      },
+                      e);
+  return e;
+}
+
+template <class Space>
+void QEq<Space>::add_forces(Atom& atom, double virial[6]) const {
+  atom.sync<Space>(X_MASK | Q_MASK | TYPE_MASK | F_MASK);
+  auto x = atom.k_x.view<Space>();
+  auto q = atom.k_q.view<Space>();
+  auto type = atom.k_type.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  auto ro = H_.row_offset;
+  auto rc = H_.row_count;
+  auto col = H_.col;
+  const ReaxParams p = params_;
+  const localint n = atom.nlocal;
+
+  EV total;
+  kk::parallel_reduce(
+      "QEq::CoulombForce", kk::RangePolicy<Space>(0, std::size_t(n)),
+      [=](std::size_t i, EV& ev) {
+        const bigint beg = ro(i);
+        const int cnt = rc(i);
+        const double gi = p.gamma[type(i)];
+        for (int k = 0; k < cnt; ++k) {
+          const std::size_t j = std::size_t(col(std::size_t(beg + k)));
+          const double dx = x(i, 0) - x(j, 0);
+          const double dy = x(i, 1) - x(j, 1);
+          const double dz = x(i, 2) - x(j, 2);
+          const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+          const double gij = std::sqrt(gi * p.gamma[type(j)]);
+          // Half per directed entry; the mirrored row supplies the rest.
+          const double fmag = -0.5 * q(i) * q(j) * dh_dr(p, r, gij) / r;
+          const double fx = fmag * dx, fy = fmag * dy, fz = fmag * dz;
+          kk::atomic_add(&f(i, std::size_t(0)), fx);
+          kk::atomic_add(&f(i, std::size_t(1)), fy);
+          kk::atomic_add(&f(i, std::size_t(2)), fz);
+          kk::atomic_add(&f(j, std::size_t(0)), -fx);
+          kk::atomic_add(&f(j, std::size_t(1)), -fy);
+          kk::atomic_add(&f(j, std::size_t(2)), -fz);
+          ev.v[0] += dx * fx;
+          ev.v[1] += dy * fy;
+          ev.v[2] += dz * fz;
+          ev.v[3] += dx * fy;
+          ev.v[4] += dx * fz;
+          ev.v[5] += dy * fz;
+        }
+      },
+      total);
+  for (int k = 0; k < 6; ++k) virial[k] += total.v[k];
+  atom.modified<Space>(F_MASK);
+}
+
+template class QEq<kk::Host>;
+template class QEq<kk::Device>;
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,66 @@
+// Charge equilibration (QEq), §4.2.2-§4.2.3.
+//
+// Minimize  E(q) = sum_i (chi_i q_i + eta_i q_i^2 / 2) + sum_{i<j} H_ij q_i q_j
+// subject to sum_i q_i = 0. Stationarity gives (H + diag(eta)) q = -chi - mu
+// with Lagrange multiplier mu; solving the two linear systems
+//    A s = -chi      and      A t = -1,     A = H + diag(eta)
+// yields q = s - t * (sum s / sum t).
+//
+// The two Krylov (conjugate gradient) solves share the matrix; the fused
+// dual-RHS path reuses every matrix load across both solves (§4.2.3).
+// The matrix build exists in two forms: flat one-row-per-work-item (host
+// friendly) and hierarchical team-per-row (device friendly, §4.2.2) — the
+// host/device bifurcation of §3.3. Both are kept and tested for equality.
+#pragma once
+
+#include "comm/simmpi.hpp"
+#include "engine/atom.hpp"
+#include "engine/comm_pair.hpp"
+#include "engine/neighbor.hpp"
+#include "reaxff/reaxff_types.hpp"
+#include "reaxff/sparse.hpp"
+
+namespace mlk::reaxff {
+
+enum class MatrixBuildMode { Flat, Hierarchical };
+
+template <class Space>
+class QEq {
+ public:
+  explicit QEq(const ReaxParams& p) : params_(p) {}
+
+  MatrixBuildMode build_mode = MatrixBuildMode::Flat;
+  bool fused_solve = true;
+
+  /// Build H from the geometric neighbor list (pairs within rcut_nonb):
+  /// a parallel scan over the *full* neighbor counts sets the over-allocated
+  /// row offsets; a second kernel computes values/columns/row counts
+  /// (§4.2.2's two-stage build).
+  void build_matrix(Atom& atom, const NeighborList& list);
+
+  /// Solve for charges; writes atom.k_q for owned atoms and forward-comms
+  /// ghost charges. Returns CG iterations used (max over the two solves).
+  int solve(Atom& atom, CommBrick& comm, simmpi::Comm* mpi);
+
+  /// Electrostatic energy with current charges: self (chi/eta) + pair
+  /// (0.5 q^T H q over owned rows; globally each pair once).
+  double energy(Atom& atom) const;
+
+  /// Coulomb forces F += -q_i q_j dH_ij/dr; half per directed entry so the
+  /// row mirror (local or remote) supplies the rest. Adds to virial[6].
+  void add_forces(Atom& atom, double virial[6]) const;
+
+  const OACSR<Space>& matrix() const { return H_; }
+  int last_iterations() const { return last_iters_; }
+
+ private:
+  void matvec(Atom& atom, CommBrick& comm,
+              const kk::View1D<double, Space>& x,
+              const kk::View1D<double, Space>& y);
+
+  ReaxParams params_;
+  OACSR<Space> H_;
+  int last_iters_ = 0;
+};
+
+}  // namespace mlk::reaxff

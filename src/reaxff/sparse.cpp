@@ -1,0 +1,99 @@
+#include "reaxff/sparse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlk::reaxff {
+
+template <class Space>
+void OACSR<Space>::allocate_rows(localint n) {
+  nrows = n;
+  row_offset = kk::View1D<bigint, Space>("oacsr::row_offset",
+                                         std::size_t(std::max<localint>(n, 1)) + 1);
+  row_count =
+      kk::View1D<int, Space>("oacsr::row_count",
+                             std::size_t(std::max<localint>(n, 1)));
+}
+
+template <class Space>
+bigint OACSR<Space>::total_nonzeros() const {
+  bigint total = 0;
+  for (localint i = 0; i < nrows; ++i) total += row_count(std::size_t(i));
+  return total;
+}
+
+template <class Space>
+void OACSR<Space>::spmv(const kk::View1D<double, Space>& x,
+                        const kk::View1D<double, Space>& y) const {
+  auto ro = row_offset;
+  auto rc = row_count;
+  auto c = col;
+  auto v = val;
+  kk::parallel_for("OACSR::spmv", kk::RangePolicy<Space>(0, std::size_t(nrows)),
+                   [=](std::size_t i) {
+                     const bigint beg = ro(i);
+                     const int cnt = rc(i);
+                     double acc = 0.0;
+                     for (int k = 0; k < cnt; ++k) {
+                       const std::size_t idx = std::size_t(beg + k);
+                       acc += v(idx) * x(std::size_t(c(idx)));
+                     }
+                     y(i) = acc;
+                   });
+}
+
+template <class Space>
+void OACSR<Space>::spmv_dual(const kk::View1D<double, Space>& x1,
+                             const kk::View1D<double, Space>& x2,
+                             const kk::View1D<double, Space>& y1,
+                             const kk::View1D<double, Space>& y2) const {
+  auto ro = row_offset;
+  auto rc = row_count;
+  auto c = col;
+  auto v = val;
+  kk::parallel_for("OACSR::spmv_dual",
+                   kk::RangePolicy<Space>(0, std::size_t(nrows)),
+                   [=](std::size_t i) {
+                     const bigint beg = ro(i);
+                     const int cnt = rc(i);
+                     double acc1 = 0.0, acc2 = 0.0;
+                     for (int k = 0; k < cnt; ++k) {
+                       const std::size_t idx = std::size_t(beg + k);
+                       const double a = v(idx);       // single matrix load
+                       const std::size_t j = std::size_t(c(idx));
+                       acc1 += a * x1(j);             // two independent
+                       acc2 += a * x2(j);             // accumulations (ILP)
+                     }
+                     y1(i) = acc1;
+                     y2(i) = acc2;
+                   });
+}
+
+template <class Space>
+void OACSR<Space>::spmv_team(const kk::View1D<double, Space>& x,
+                             const kk::View1D<double, Space>& y) const {
+  auto ro = row_offset;
+  auto rc = row_count;
+  auto c = col;
+  auto v = val;
+  kk::TeamPolicy<Space> policy(std::size_t(nrows), 1, 32);
+  kk::parallel_for("OACSR::spmv_team", policy, [=](const kk::TeamMember& m) {
+    const std::size_t i = m.league_rank();
+    const bigint beg = ro(i);
+    const int cnt = rc(i);
+    double acc = 0.0;
+    kk::parallel_reduce(kk::ThreadVectorRange(m, std::size_t(cnt)),
+                        [&](std::size_t k, double& a) {
+                          const std::size_t idx = std::size_t(beg + bigint(k));
+                          a += v(idx) * x(std::size_t(c(idx)));
+                        },
+                        acc);
+    y(i) = acc;
+  });
+}
+
+template struct OACSR<kk::Host>;
+template struct OACSR<kk::Device>;
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,50 @@
+// Over-allocated CSR sparse matrix (§4.2.2, Appendix B).
+//
+// The QEq electrostatics matrix uses a modified CSR where each row is
+// allocated space for the *maximum possible* number of neighbors (from the
+// full geometric neighbor list) while a separate per-row count records the
+// actual number of nonzeros within the interaction cutoff. Four data
+// structures describe the matrix: values, column indices, row offsets, and
+// row counts. Only the row offsets — length N_atoms, cumulative and
+// therefore able to exceed 2^31 — are 64-bit; column indices and row counts
+// stay 32-bit (the space-efficient choice Appendix B describes).
+#pragma once
+
+#include "kokkos/core.hpp"
+#include "kokkos/team.hpp"
+#include "util/types.hpp"
+
+namespace mlk::reaxff {
+
+template <class Space>
+struct OACSR {
+  kk::View1D<bigint, Space> row_offset;  // (nrows+1), 64-bit (App. B)
+  kk::View1D<int, Space> row_count;      // actual nnz per row
+  kk::View1D<int, Space> col;            // (capacity), 32-bit
+  kk::View1D<double, Space> val;         // (capacity)
+  localint nrows = 0;
+  bigint capacity = 0;
+
+  void allocate_rows(localint n);
+
+  /// y = A x. `x` must cover every column index (locals + ghosts).
+  void spmv(const kk::View1D<double, Space>& x,
+            const kk::View1D<double, Space>& y) const;
+
+  /// Fused dual matrix-vector product: y1 = A x1 and y2 = A x2 with a single
+  /// pass over the matrix (the §4.2.3 kernel fusion — the matrix load is
+  /// reused, and the two independent accumulations expose ILP, §4.3.4).
+  void spmv_dual(const kk::View1D<double, Space>& x1,
+                 const kk::View1D<double, Space>& x2,
+                 const kk::View1D<double, Space>& y1,
+                 const kk::View1D<double, Space>& y2) const;
+
+  /// Row-parallel hierarchical SpMV: one team per row, matrix entries over
+  /// vector lanes (§4.2.2's device-friendly variant; identical result).
+  void spmv_team(const kk::View1D<double, Space>& x,
+                 const kk::View1D<double, Space>& y) const;
+
+  bigint total_nonzeros() const;
+};
+
+}  // namespace mlk::reaxff

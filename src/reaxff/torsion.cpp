@@ -1,0 +1,269 @@
+#include "reaxff/torsion.hpp"
+
+#include <cmath>
+
+#include "kokkos/core.hpp"
+#include "util/error.hpp"
+
+namespace mlk::reaxff {
+
+namespace {
+
+inline void cross(const double a[3], const double b[3], double out[3]) {
+  out[0] = a[1] * b[2] - a[2] * b[1];
+  out[1] = a[2] * b[0] - a[0] * b[2];
+  out[2] = a[0] * b[1] - a[1] * b[0];
+}
+
+/// Directed center-bond ownership: consistent across ranks and periodic
+/// images (compare physical coordinates, z then y then x).
+template <class XView>
+inline bool owns_center_bond(const XView& x, std::size_t j, std::size_t k) {
+  if (x(k, 2) != x(j, 2)) return x(k, 2) > x(j, 2);
+  if (x(k, 1) != x(j, 1)) return x(k, 1) > x(j, 1);
+  return x(k, 0) > x(j, 0);
+}
+
+/// Full torsion energy/force for quad (i,j,k,l). Forces atomic.
+template <class XView, class FView>
+inline void torsion_term(const ReaxParams& p, const XView& x, const FView& f,
+                         std::size_t i, std::size_t j, std::size_t k,
+                         std::size_t l, bool eflag, EV& ev) {
+  double b1[3], b2[3], b3[3];
+  for (int d = 0; d < 3; ++d) {
+    b1[d] = x(j, std::size_t(d)) - x(i, std::size_t(d));
+    b2[d] = x(k, std::size_t(d)) - x(j, std::size_t(d));
+    b3[d] = x(l, std::size_t(d)) - x(k, std::size_t(d));
+  }
+  const double r1 = std::sqrt(b1[0] * b1[0] + b1[1] * b1[1] + b1[2] * b1[2]);
+  const double r2 = std::sqrt(b2[0] * b2[0] + b2[1] * b2[1] + b2[2] * b2[2]);
+  const double r3 = std::sqrt(b3[0] * b3[0] + b3[1] * b3[1] + b3[2] * b3[2]);
+
+  const double bo1 = bond_order(p, r1);
+  const double bo2 = bond_order(p, r2);
+  const double bo3 = bond_order(p, r3);
+
+  double A[3], B[3];
+  cross(b1, b2, A);
+  cross(b2, b3, B);
+  const double na = std::sqrt(A[0] * A[0] + A[1] * A[1] + A[2] * A[2]);
+  const double nb = std::sqrt(B[0] * B[0] + B[1] * B[1] + B[2] * B[2]);
+  if (na < 1e-10 || nb < 1e-10) return;  // collinear: torsion undefined
+
+  const double inv_ab = 1.0 / (na * nb);
+  const double cosphi =
+      (A[0] * B[0] + A[1] * B[1] + A[2] * B[2]) * inv_ab;
+
+  // Threshold-shifted product: the torsion switches on continuously where
+  // the quad enters the list (prod == bo_cut_tors).
+  const double prod = bo1 * bo2 * bo3;
+  const double pref = p.k_tors * (prod - p.bo_cut_tors);
+  const double g = 1.0 + cosphi;
+
+  // dcos/dA and dcos/dB.
+  double u[3], v[3];
+  for (int d = 0; d < 3; ++d) {
+    u[d] = B[d] * inv_ab - cosphi * A[d] / (na * na);
+    v[d] = A[d] * inv_ab - cosphi * B[d] / (nb * nb);
+  }
+  // Bond-vector gradients of cos phi (triple-product identities).
+  double db1[3], db2[3], db3[3], tmp1[3], tmp2[3];
+  cross(b2, u, db1);
+  cross(u, b1, tmp1);
+  cross(b3, v, tmp2);
+  for (int d = 0; d < 3; ++d) db2[d] = tmp1[d] + tmp2[d];
+  cross(v, b2, db3);
+
+  // dE/dx for the four sites: chain rule through cos phi and the three BO.
+  const double dbo1 = dbond_order(p, r1) / r1;  // times b1 gives dBO1/d b1
+  const double dbo2 = dbond_order(p, r2) / r2;
+  const double dbo3 = dbond_order(p, r3) / r3;
+  const double c1 = p.k_tors * bo2 * bo3 * g * dbo1;
+  const double c2 = p.k_tors * bo1 * bo3 * g * dbo2;
+  const double c3 = p.k_tors * bo1 * bo2 * g * dbo3;
+
+  double Fi[3], Fj[3], Fk[3], Fl[3];
+  for (int d = 0; d < 3; ++d) {
+    const double dEdb1 = c1 * b1[d] + pref * db1[d];
+    const double dEdb2 = c2 * b2[d] + pref * db2[d];
+    const double dEdb3 = c3 * b3[d] + pref * db3[d];
+    Fi[d] = dEdb1;                 // = -dE/dxi
+    Fj[d] = -dEdb1 + dEdb2;        // = -dE/dxj
+    Fk[d] = -dEdb2 + dEdb3;
+    Fl[d] = -dEdb3;
+  }
+  for (std::size_t d = 0; d < 3; ++d) {
+    kk::atomic_add(&f(i, d), Fi[d]);
+    kk::atomic_add(&f(j, d), Fj[d]);
+    kk::atomic_add(&f(k, d), Fk[d]);
+    kk::atomic_add(&f(l, d), Fl[d]);
+  }
+  if (eflag) {
+    ev.evdwl += pref * g;
+    // Site virial relative to j (forces sum to zero).
+    double ri[3], rk[3], rl[3];
+    for (int d = 0; d < 3; ++d) {
+      ri[d] = -b1[d];
+      rk[d] = b2[d];
+      rl[d] = b2[d] + b3[d];
+    }
+    ev.v[0] += ri[0] * Fi[0] + rk[0] * Fk[0] + rl[0] * Fl[0];
+    ev.v[1] += ri[1] * Fi[1] + rk[1] * Fk[1] + rl[1] * Fl[1];
+    ev.v[2] += ri[2] * Fi[2] + rk[2] * Fk[2] + rl[2] * Fl[2];
+    ev.v[3] += ri[0] * Fi[1] + rk[0] * Fk[1] + rl[0] * Fl[1];
+    ev.v[4] += ri[0] * Fi[2] + rk[0] * Fk[2] + rl[0] * Fl[2];
+    ev.v[5] += ri[1] * Fi[2] + rk[1] * Fk[2] + rl[1] * Fl[2];
+  }
+}
+
+/// Shared quad enumeration: calls fn(i, j, k, l) for every surviving quad
+/// with owned center bond starting at owned atom j; counts candidates.
+template <class XView, class BondsT, class Fn>
+inline void for_quads_of(const ReaxParams& p, const XView& x, const BondsT& b,
+                         std::size_t j, bigint* candidates, const Fn& fn) {
+  const int nj = b.nbonds(j);
+  for (int s_jk = 0; s_jk < nj; ++s_jk) {
+    const std::size_t k = std::size_t(b.j(j, std::size_t(s_jk)));
+    if (!owns_center_bond(x, j, k)) continue;
+    const double bo_jk = b.bo(j, std::size_t(s_jk));
+    const int nk = b.nbonds(k);
+    for (int s_ji = 0; s_ji < nj; ++s_ji) {
+      const std::size_t i = std::size_t(b.j(j, std::size_t(s_ji)));
+      if (i == k) continue;
+      const double bo_ij = b.bo(j, std::size_t(s_ji));
+      for (int s_kl = 0; s_kl < nk; ++s_kl) {
+        const std::size_t l = std::size_t(b.j(k, std::size_t(s_kl)));
+        if (l == j || l == i) continue;
+        if (candidates) ++*candidates;
+        const double bo_kl = b.bo(k, std::size_t(s_kl));
+        if (bo_ij * bo_jk * bo_kl <= p.bo_cut_tors) continue;
+        fn(i, j, k, l);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class Space>
+void build_quads(const ReaxParams& p, Atom& atom, const BondList<Space>& bonds,
+                 QuadList<Space>& out) {
+  require(bonds.natom >= atom.nall(),
+          "build_quads: bond list must include ghost rows");
+  atom.sync<Space>(X_MASK);
+  auto x = atom.k_x.view<Space>();
+  const localint nlocal = atom.nlocal;
+  const ReaxParams params = p;
+  const BondList<Space> b = bonds;
+
+  // Kernel 1: per-atom quad counts (+ candidate census for the divergence
+  // statistics the paper quotes).
+  kk::View1D<bigint, Space> counts("reax::quad_counts",
+                                   std::size_t(std::max<localint>(nlocal, 1)));
+  bigint candidates = 0;
+  kk::parallel_reduce(
+      "ReaxFF::QuadCount", kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+      [=](std::size_t j, bigint& cand) {
+        bigint c = 0;
+        bigint my_cand = 0;
+        for_quads_of(params, x, b, j, &my_cand,
+                     [&](std::size_t, std::size_t, std::size_t, std::size_t) {
+                       ++c;
+                     });
+        counts(j) = c;
+        cand += my_cand;
+      },
+      candidates);
+  out.candidates = candidates;
+
+  // Exclusive scan -> contiguous per-atom slots (bigint offsets, App. B).
+  kk::View1D<bigint, Space> offsets("reax::quad_offsets",
+                                    std::size_t(std::max<localint>(nlocal, 1)));
+  bigint total = 0;
+  kk::parallel_scan("ReaxFF::QuadScan",
+                    kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                    [=](std::size_t j, bigint& update, bool final) {
+                      if (final) offsets(j) = update;
+                      update += counts(j);
+                    },
+                    total);
+  out.count = total;
+  out.quads = kk::View1D<int4, Space>("reax::quads",
+                                      std::size_t(std::max<bigint>(total, 1)));
+  auto quads = out.quads;
+
+  // Kernel 2: fill. All quads of atom j are contiguous (promotes reuse of
+  // i/j/k/l data in the convergent compute kernel, §4.2.1).
+  kk::parallel_for("ReaxFF::QuadFill",
+                   kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+                   [=](std::size_t j) {
+                     bigint w = offsets(j);
+                     for_quads_of(params, x, b, j, nullptr,
+                                  [&](std::size_t i, std::size_t jj,
+                                      std::size_t k, std::size_t l) {
+                                    quads(std::size_t(w++)) =
+                                        int4{int(i), int(jj), int(k), int(l)};
+                                  });
+                   });
+}
+
+template <class Space>
+EV compute_torsions_preprocessed(const ReaxParams& p, Atom& atom,
+                                 const QuadList<Space>& quads, bool eflag) {
+  atom.sync<Space>(X_MASK | F_MASK);
+  auto x = atom.k_x.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  const ReaxParams params = p;
+  auto q = quads.quads;
+
+  EV total;
+  kk::parallel_reduce(
+      "ReaxFF::TorsionPreprocessed",
+      kk::RangePolicy<Space>(0, std::size_t(quads.count)),
+      [=](std::size_t t, EV& ev) {
+        const int4 e = q(t);
+        torsion_term(params, x, f, std::size_t(e.i), std::size_t(e.j),
+                     std::size_t(e.k), std::size_t(e.l), eflag, ev);
+      },
+      total);
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+template <class Space>
+EV compute_torsions_direct(const ReaxParams& p, Atom& atom,
+                           const BondList<Space>& bonds, bool eflag) {
+  atom.sync<Space>(X_MASK | F_MASK);
+  auto x = atom.k_x.view<Space>();
+  auto f = atom.k_f.view<Space>();
+  const localint nlocal = atom.nlocal;
+  const ReaxParams params = p;
+  const BondList<Space> b = bonds;
+
+  EV total;
+  kk::parallel_reduce(
+      "ReaxFF::TorsionDirect", kk::RangePolicy<Space>(0, std::size_t(nlocal)),
+      [=](std::size_t j, EV& ev) {
+        for_quads_of(params, x, b, j, nullptr,
+                     [&](std::size_t i, std::size_t jj, std::size_t k,
+                         std::size_t l) {
+                       torsion_term(params, x, f, i, jj, k, l, eflag, ev);
+                     });
+      },
+      total);
+  atom.modified<Space>(F_MASK);
+  return total;
+}
+
+#define INSTANTIATE(S)                                                       \
+  template void build_quads<S>(const ReaxParams&, Atom&, const BondList<S>&, \
+                               QuadList<S>&);                                \
+  template EV compute_torsions_preprocessed<S>(const ReaxParams&, Atom&,    \
+                                               const QuadList<S>&, bool);   \
+  template EV compute_torsions_direct<S>(const ReaxParams&, Atom&,          \
+                                         const BondList<S>&, bool);
+INSTANTIATE(kk::Host)
+INSTANTIATE(kk::Device)
+#undef INSTANTIATE
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,48 @@
+// Four-body torsion term with quad pre-processing (§4.2.1).
+//
+// The torsion of quads (i, j, k, l) requires (i,j), (j,k), (k,l) bonded and
+// the product of the three bond orders above a threshold; in molecular
+// crystals fewer than ~5% of candidate quads survive, so the direct
+// triply-nested kernel is highly divergent. The paper's fix is reproduced
+// exactly: two inexpensive pre-processing kernels (count per atom, then
+// exclusive scan + fill into a compressed Kokkos View of int4, all quads of
+// an atom contiguous) feed a fully convergent compute kernel parallelized
+// over *quads*.
+#pragma once
+
+#include "engine/atom.hpp"
+#include "pair/pair_compute_kokkos.hpp"
+#include "reaxff/bond_order.hpp"
+
+namespace mlk::reaxff {
+
+template <class Space>
+struct QuadList {
+  kk::View1D<int4, Space> quads;
+  bigint count = 0;       // surviving quads
+  bigint candidates = 0;  // all (i,j,k,l) combinations examined
+  double survival_fraction() const {
+    return candidates == 0 ? 0.0 : double(count) / double(candidates);
+  }
+};
+
+/// Pre-processing: enumerate surviving quads. Center bonds (j,k) are owned
+/// by the coordinate tie-break so each physical torsion is counted once
+/// across ranks/images. Requires ghost bond rows.
+template <class Space>
+void build_quads(const ReaxParams& p, Atom& atom, const BondList<Space>& bonds,
+                 QuadList<Space>& out);
+
+/// Convergent compute over pre-built quads.
+template <class Space>
+EV compute_torsions_preprocessed(const ReaxParams& p, Atom& atom,
+                                 const QuadList<Space>& quads, bool eflag);
+
+/// Divergent baseline: triply-nested loop with inline constraints
+/// (energy/forces identical to the pre-processed path; used by tests and
+/// the divergence bench).
+template <class Space>
+EV compute_torsions_direct(const ReaxParams& p, Atom& atom,
+                           const BondList<Space>& bonds, bool eflag);
+
+}  // namespace mlk::reaxff

@@ -1,0 +1,156 @@
+#include "snap/clebsch_gordan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk::snap {
+
+double factorial(int n) {
+  require(n >= 0 && n <= 170, "factorial argument out of range");
+  static const auto table = [] {
+    std::vector<double> t(171);
+    t[0] = 1.0;
+    for (int i = 1; i <= 170; ++i) t[std::size_t(i)] = t[std::size_t(i) - 1] * i;
+    return t;
+  }();
+  return table[std::size_t(n)];
+}
+
+namespace {
+/// Triangle coefficient sqrt-free part of the CG formula.
+double deltacg(int j1, int j2, int j) {
+  const double sfaccg = factorial((j1 + j2 + j) / 2 + 1);
+  return std::sqrt(factorial((j1 + j2 - j) / 2) * factorial((j1 - j2 + j) / 2) *
+                   factorial((-j1 + j2 + j) / 2) / sfaccg);
+}
+}  // namespace
+
+double clebsch_gordan(int j1, int m1, int j2, int m2, int j, int m) {
+  if (m != m1 + m2) return 0.0;
+  // Doubled-argument parity: (j + m) must be even for valid projections.
+  if ((j1 + m1) % 2 || (j2 + m2) % 2 || (j + m) % 2) return 0.0;
+  if (std::abs(m1) > j1 || std::abs(m2) > j2 || std::abs(m) > j) return 0.0;
+  if (j < std::abs(j1 - j2) || j > j1 + j2) return 0.0;
+
+  const int z_min =
+      std::max({0, (j2 - j - m1) / 2, (j1 - j + m2) / 2});
+  const int z_max =
+      std::min({(j1 + j2 - j) / 2, (j1 - m1) / 2, (j2 + m2) / 2});
+  double sum = 0.0;
+  for (int z = z_min; z <= z_max; ++z) {
+    const int ifac = (z % 2) ? -1 : 1;
+    sum += ifac /
+           (factorial(z) * factorial((j1 + j2 - j) / 2 - z) *
+            factorial((j1 - m1) / 2 - z) * factorial((j2 + m2) / 2 - z) *
+            factorial((j - j2 + m1) / 2 + z) *
+            factorial((j - j1 - m2) / 2 + z));
+  }
+  const double cc2 =
+      deltacg(j1, j2, j) *
+      std::sqrt(factorial((j1 + m1) / 2) * factorial((j1 - m1) / 2) *
+                factorial((j2 + m2) / 2) * factorial((j2 - m2) / 2) *
+                factorial((j + m) / 2) * factorial((j - m) / 2) * (j + 1));
+  return cc2 * sum;
+}
+
+int SnaIndexes::idxb_index(int j1, int j2, int j) const {
+  for (std::size_t k = 0; k < idxb.size(); ++k)
+    if (idxb[k].j1 == j1 && idxb[k].j2 == j2 && idxb[k].j == j) return int(k);
+  fatal("idxb_index: triple not stored");
+}
+
+void SnaIndexes::build(int tjm) {
+  require(tjm >= 0 && tjm <= 24, "twojmax out of supported range");
+  twojmax = tjm;
+
+  // --- U index blocks ---
+  idxu_block.assign(std::size_t(twojmax) + 1, 0);
+  idxu_max = 0;
+  for (int j = 0; j <= twojmax; ++j) {
+    idxu_block[std::size_t(j)] = idxu_max;
+    idxu_max += (j + 1) * (j + 1);
+  }
+
+  // --- B triples: j1 >= j2, |j1-j2| <= j <= min(twojmax, j1+j2), j >= j1 ---
+  idxb.clear();
+  for (int j1 = 0; j1 <= twojmax; ++j1)
+    for (int j2 = 0; j2 <= j1; ++j2)
+      for (int j = j1 - j2; j <= std::min(twojmax, j1 + j2); j += 2)
+        if (j >= j1) idxb.push_back({j1, j2, j});
+  idxb_max = int(idxb.size());
+
+  // --- CG blocks ---
+  const std::size_t nblk =
+      std::size_t(twojmax + 1) * (twojmax + 1) * (twojmax + 1);
+  idxcg_block.assign(nblk, -1);
+  idxz_block.assign(nblk, -1);
+  cglist.clear();
+  for (int j1 = 0; j1 <= twojmax; ++j1)
+    for (int j2 = 0; j2 <= j1; ++j2)
+      for (int j = j1 - j2; j <= std::min(twojmax, j1 + j2); j += 2) {
+        idxcg_block[std::size_t(((j1 * (twojmax + 1)) + j2) * (twojmax + 1) +
+                                j)] = int(cglist.size());
+        for (int m1 = 0; m1 <= j1; ++m1) {
+          const int aa2 = 2 * m1 - j1;
+          for (int m2 = 0; m2 <= j2; ++m2) {
+            const int bb2 = 2 * m2 - j2;
+            const int m = (aa2 + bb2 + j) / 2;
+            if (m < 0 || m > j || (aa2 + bb2 + j) % 2 != 0) {
+              cglist.push_back(0.0);
+              continue;
+            }
+            cglist.push_back(clebsch_gordan(j1, aa2, j2, bb2, j, aa2 + bb2));
+          }
+        }
+      }
+
+  // --- Z entries ---
+  idxz.clear();
+  for (int j1 = 0; j1 <= twojmax; ++j1)
+    for (int j2 = 0; j2 <= j1; ++j2)
+      for (int j = j1 - j2; j <= std::min(twojmax, j1 + j2); j += 2) {
+        idxz_block[std::size_t(((j1 * (twojmax + 1)) + j2) * (twojmax + 1) +
+                               j)] = int(idxz.size());
+        for (int mb = 0; 2 * mb <= j; ++mb)
+          for (int ma = 0; ma <= j; ++ma) {
+            ZEntry e;
+            e.j1 = j1;
+            e.j2 = j2;
+            e.j = j;
+            e.ma = ma;
+            e.mb = mb;
+            e.ma1min = std::max(0, (2 * ma - j - j2 + j1) / 2);
+            e.ma2max = (2 * ma - j - (2 * e.ma1min - j1) + j2) / 2;
+            e.na = std::min(j1, (2 * ma - j + j2 + j1) / 2) - e.ma1min + 1;
+            e.mb1min = std::max(0, (2 * mb - j - j2 + j1) / 2);
+            e.mb2max = (2 * mb - j - (2 * e.mb1min - j1) + j2) / 2;
+            e.nb = std::min(j1, (2 * mb - j + j2 + j1) / 2) - e.mb1min + 1;
+            e.jju = idxu_block[std::size_t(j)] + mb * (j + 1) + ma;
+            // Pre-resolve the symmetry-weighted beta pickup (LAMMPS
+            // compute_yi weighting over stored (j1,j2,j) permutations).
+            if (j >= j1) {
+              e.jjb = idxb_index(j1, j2, j);
+              e.beta_fac = (j1 == j) ? ((j2 == j) ? 3.0 : 2.0) : 1.0;
+            } else if (j >= j2) {
+              e.jjb = idxb_index(j, j2, j1);
+              e.beta_fac = ((j2 == j) ? 2.0 : 1.0) * (j1 + 1) / (j + 1.0);
+            } else {
+              e.jjb = idxb_index(j2, j, j1);
+              e.beta_fac = double(j1 + 1) / (j + 1.0);
+            }
+            idxz.push_back(e);
+          }
+      }
+  idxz_max = int(idxz.size());
+
+  // --- rootpq ---
+  rootpq = kk::View<double, 2>("sna::rootpq", std::size_t(twojmax) + 2,
+                               std::size_t(twojmax) + 2);
+  for (int p = 1; p <= twojmax + 1; ++p)
+    for (int q = 1; q <= twojmax + 1; ++q)
+      rootpq(std::size_t(p), std::size_t(q)) = std::sqrt(double(p) / double(q));
+}
+
+}  // namespace mlk::snap

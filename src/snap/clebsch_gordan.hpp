@@ -1,0 +1,74 @@
+// Clebsch-Gordan coefficients and SU(2) index bookkeeping for SNAP (§4.3).
+//
+// Convention: all angular momenta are stored doubled ("2j" integers), so
+// half-integer j are exact. j runs 0..twojmax; projection indices m are
+// stored as row/column indices ma, mb in 0..j (m = 2*ma - j in doubled
+// units), matching the LAMMPS SNA convention.
+#pragma once
+
+#include <vector>
+
+#include "kokkos/view.hpp"
+
+namespace mlk::snap {
+
+/// factorial(n) as double (n up to ~170 before overflow; SNAP needs < 40).
+double factorial(int n);
+
+/// Clebsch-Gordan coefficient C^{j m}_{j1 m1 j2 m2} with doubled arguments
+/// (j1, m1, j2, m2, j, m all 2x physical values; m = m1 + m2 required).
+double clebsch_gordan(int j1, int m1, int j2, int m2, int j, int m);
+
+/// Index bookkeeping shared by the host and Kokkos SNAP implementations.
+struct SnaIndexes {
+  int twojmax = 0;
+
+  // U matrices: flattened (j, ma, mb) -> idxu_block[j] + mb*(j+1) + ma.
+  std::vector<int> idxu_block;
+  int idxu_max = 0;
+
+  // B triples (j1 >= j2, j >= j1): idxb list and reverse lookup.
+  struct BTriple {
+    int j1, j2, j;
+  };
+  std::vector<BTriple> idxb;
+  int idxb_max = 0;
+  /// idxb_block(j1,j2,j) -> index into idxb (valid only for stored triples).
+  int idxb_index(int j1, int j2, int j) const;
+
+  // Z entries: every (j1,j2,j) with j1 >= j2, |j1-j2| <= j <= min(2J, j1+j2),
+  // times (mb, ma) with 2*mb <= j. Each entry pre-resolves the CG summation
+  // bounds (LAMMPS idxz layout).
+  struct ZEntry {
+    int j1, j2, j;
+    int ma1min, ma2max, na;
+    int mb1min, mb2max, nb;
+    int jju;  // target flat U index for (j, ma, mb)
+    int ma, mb;
+    // Pre-resolved Y accumulation weight: betaj = beta[jjb] * beta_fac
+    // (symmetry multiplicity over the up-to-three stored permutations).
+    int jjb = 0;
+    double beta_fac = 1.0;
+  };
+  std::vector<ZEntry> idxz;
+  int idxz_max = 0;
+  /// First idxz entry of a (j1,j2,j) block (entries are contiguous).
+  std::vector<int> idxz_block;  // indexed like idxcg_block
+
+  // CG coefficient storage: contiguous blocks per (j1,j2,j).
+  std::vector<double> cglist;
+  std::vector<int> idxcg_block;  // (j1,j2,j) -> offset into cglist
+  int cg_offset(int j1, int j2, int j) const {
+    return idxcg_block[std::size_t(((j1 * (twojmax + 1)) + j2) * (twojmax + 1) + j)];
+  }
+  int z_block(int j1, int j2, int j) const {
+    return idxz_block[std::size_t(((j1 * (twojmax + 1)) + j2) * (twojmax + 1) + j)];
+  }
+
+  // rootpq(p, q) = sqrt(p/q), p,q in 1..twojmax (+1 padding).
+  kk::View<double, 2> rootpq;
+
+  void build(int twojmax);
+};
+
+}  // namespace mlk::snap

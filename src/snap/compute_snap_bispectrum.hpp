@@ -1,0 +1,36 @@
+// compute snap/bispectrum — per-atom bispectrum descriptors, the quantity a
+// SNAP (or other ML) potential is trained on (paper Appendix A: generating
+// descriptors for machine-learning workflows). Independent of any pair
+// style: owns its own SNA calculator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/compute.hpp"
+#include "snap/sna.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+
+class ComputeSnapBispectrum : public Compute {
+ public:
+  ComputeSnapBispectrum(double rcut, int twojmax);
+
+  /// Scalar interface: mean |B| over atoms and components.
+  double compute_scalar(Simulation& sim) override;
+
+  /// Per-atom descriptor matrix (nlocal x ncoeff), row-major.
+  const std::vector<double>& descriptors() const { return desc_; }
+  int ncoeff() const { return sna_->ncoeff(); }
+  void evaluate(Simulation& sim);
+
+ private:
+  snap::SnaParams params_;
+  std::unique_ptr<snap::SNA> sna_;
+  std::vector<double> desc_;
+};
+
+void register_compute_snap_bispectrum();
+
+}  // namespace mlk

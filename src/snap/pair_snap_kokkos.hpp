@@ -1,0 +1,34 @@
+// pair_style snap/kk — Kokkos SNAP, dual-instantiated (Host + Device).
+// Wraps the SNAKokkos kernel pipeline: stage -> ComputeUi -> (Zi+Bi for
+// energy) -> ComputeYi -> ComputeFusedDeidrj.
+#pragma once
+
+#include <memory>
+
+#include "snap/pair_snap.hpp"
+#include "snap/sna_kernels.hpp"
+
+namespace mlk {
+
+template <class Space>
+class PairSNAPKokkos : public PairSNAP {
+ public:
+  PairSNAPKokkos();
+  void init(Simulation& sim) override;
+  void compute(Simulation& sim, bool eflag) override;
+
+  /// Work-batching knobs (Table 2 reproduction).
+  void set_ui_batch(int b);
+  void set_yi_tile(int v);
+
+  snap::SNAKokkos<Space>* kernels() { return snakk_.get(); }
+
+ private:
+  std::unique_ptr<snap::SNAKokkos<Space>> snakk_;
+  int ui_batch_ = 4;
+  int yi_tile_ = 32;
+};
+
+void register_pair_snap_kokkos();
+
+}  // namespace mlk

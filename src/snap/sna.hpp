@@ -1,0 +1,89 @@
+// SNA — the SNAP bispectrum calculator (§4.3; Thompson et al. 2015).
+//
+// This is the serial, per-atom host implementation the paper describes as
+// the "initial, non-Kokkos CPU implementation": one set of staging arrays
+// *without* an atom index, reused across outer-loop iterations. The Kokkos
+// implementation (sna_kernels.hpp) re-derives the same math with per-atom
+// data structures and device data layouts.
+//
+// Pipeline per atom i (paper's four steps):
+//   1. compute_ui      — Wigner U recursion per neighbor, accumulated U_j(i)
+//   2. compute_zi/bi   — triple products (energy path)
+//      compute_yi      — beta-weighted adjoint Y (force path)
+//   3. compute_duidrj  — dU/dr_k per neighbor (recursion with product rule)
+//   4. compute_deidrj  — force contraction Y : dU
+#pragma once
+
+#include <vector>
+
+#include "snap/clebsch_gordan.hpp"
+
+namespace mlk::snap {
+
+struct SnaParams {
+  int twojmax = 6;
+  double rcut = 3.0;
+  double rfac0 = 0.99363;
+  double rmin0 = 0.0;
+  double wself = 1.0;
+  bool switch_flag = true;
+};
+
+class SNA {
+ public:
+  explicit SNA(const SnaParams& p);
+
+  const SnaIndexes& idx() const { return idx_; }
+  const SnaParams& params() const { return params_; }
+  /// Number of bispectrum components (length of beta).
+  int ncoeff() const { return idx_.idxb_max; }
+
+  // --- Step 1: neighborhood decomposition -------------------------------
+  /// Reset U accumulation and add the self term.
+  void zero_ui();
+  /// Add one neighbor at relative position dr (length r <= rcut).
+  void add_neighbor_ui(const double dr[3], double r);
+
+  // --- Step 2a (energy): Z then B ---------------------------------------
+  void compute_zi();
+  void compute_bi();
+  const std::vector<double>& blist() const { return blist_; }
+
+  // --- Step 2b (forces): adjoint Y --------------------------------------
+  void compute_yi(const double* beta);
+
+  // --- Steps 3+4: per-neighbor force ------------------------------------
+  /// dE_i/d(r_k) for neighbor at dr: contracts Y with dU/dr_k.
+  /// Returns the gradient in f[3] (caller applies signs).
+  void compute_dedr(const double dr[3], double r, double f[3]);
+
+  // Switching function (public for tests).
+  double sfac(double r) const;
+  double dsfac(double r) const;
+
+  // Direct U access for invariance tests: flattened (j,ma,mb).
+  const std::vector<double>& utot_r() const { return utot_r_; }
+  const std::vector<double>& utot_i() const { return utot_i_; }
+
+ private:
+  void compute_uarray(double x, double y, double z, double z0, double r);
+  void compute_duarray(double x, double y, double z, double z0, double r,
+                       double dz0dr);
+
+  SnaParams params_;
+  SnaIndexes idx_;
+
+  // Scratch (single copy, reused across atoms — host model).
+  std::vector<double> ulist_r_, ulist_i_;      // per-neighbor U
+  std::vector<double> utot_r_, utot_i_;        // accumulated U_j(i)
+  std::vector<double> zlist_r_, zlist_i_;      // triple products
+  std::vector<double> ylist_r_, ylist_i_;      // adjoint
+  std::vector<double> blist_;                  // bispectrum
+  std::vector<double> dulist_r_[3], dulist_i_[3];
+};
+
+/// Deterministic synthetic SNAP coefficients (no trained potentials ship
+/// with this repo): smooth decaying, sign-alternating values.
+std::vector<double> synthetic_beta(int ncoeff, int seed, double scale = 0.1);
+
+}  // namespace mlk::snap

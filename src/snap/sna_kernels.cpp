@@ -1,0 +1,400 @@
+#include "snap/sna_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pair/pair_compute_kokkos.hpp"  // EV reduction type
+#include "snap/sna_recursion.hpp"
+#include "util/error.hpp"
+
+namespace mlk::snap {
+
+template <class Space>
+SNAKokkos<Space>::SNAKokkos(const SnaParams& p) : params_(p) {
+  require(p.rcut > p.rmin0, "SNAKokkos: rcut must exceed rmin0");
+  idx_.build(p.twojmax);
+}
+
+namespace {
+
+double switching(const SnaParams& p, double r) {
+  if (!p.switch_flag) return 1.0;
+  if (r <= p.rmin0) return 1.0;
+  if (r >= p.rcut) return 0.0;
+  const double t = (r - p.rmin0) / (p.rcut - p.rmin0);
+  return 0.5 * (std::cos(t * 3.14159265358979323846) + 1.0);
+}
+
+double dswitching(const SnaParams& p, double r) {
+  if (!p.switch_flag) return 0.0;
+  if (r <= p.rmin0 || r >= p.rcut) return 0.0;
+  const double span = p.rcut - p.rmin0;
+  const double t = (r - p.rmin0) / span;
+  return -0.5 * 3.14159265358979323846 / span *
+         std::sin(t * 3.14159265358979323846);
+}
+
+}  // namespace
+
+template <class Space>
+void SNAKokkos<Space>::stage_neighbors(Atom& atom, const NeighborList& list) {
+  require(list.style == NeighStyle::Full,
+          "SNAKokkos: requires a full neighbor list");
+  atom.sync<Space>(X_MASK);
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  auto x = atom.k_x.view<Space>();
+  auto neigh = l.k_neighbors.view<Space>();
+  auto numneigh = l.k_numneigh.view<Space>();
+
+  natom = list.inum;
+  const double rcutsq = params_.rcut * params_.rcut;
+
+  // Count pass (divergent, cheap) -> max reduction for table width.
+  kk::View1D<int, Space> counts("snap::counts",
+                                std::size_t(std::max<localint>(natom, 1)));
+  kk::parallel_for("SNAP::stage_count",
+                   kk::RangePolicy<Space>(0, std::size_t(natom)),
+                   [=](std::size_t i) {
+                     int c = 0;
+                     const int jnum = numneigh(i);
+                     for (int jj = 0; jj < jnum; ++jj) {
+                       const int j = neigh(i, std::size_t(jj));
+                       const double dx = x(std::size_t(j), 0) - x(i, 0);
+                       const double dy = x(std::size_t(j), 1) - x(i, 1);
+                       const double dz = x(std::size_t(j), 2) - x(i, 2);
+                       const double rsq = dx * dx + dy * dy + dz * dz;
+                       if (rsq < rcutsq && rsq > 1e-20) ++c;
+                     }
+                     counts(i) = c;
+                   });
+  int maxn = 1;
+  kk::parallel_reduce_impl(
+      "SNAP::stage_max", kk::RangePolicy<Space>(0, std::size_t(natom)),
+      [=](std::size_t i, int& m) {
+        if (counts(i) > m) m = counts(i);
+      },
+      kk::Max<int>(maxn));
+  maxneigh = std::max(maxn, 1);
+
+  neigh_dr = kk::View3D<double, Space>("snap::neigh_dr",
+                                       std::size_t(std::max<localint>(natom, 1)),
+                                       std::size_t(maxneigh), 4);
+  neigh_j = kk::View2D<int, Space>("snap::neigh_j",
+                                   std::size_t(std::max<localint>(natom, 1)),
+                                   std::size_t(maxneigh));
+  nneigh = kk::View1D<int, Space>("snap::nneigh",
+                                  std::size_t(std::max<localint>(natom, 1)));
+  auto dr = neigh_dr;
+  auto nj = neigh_j;
+  auto nn = nneigh;
+
+  // Fill pass: compressed per-atom tables (fully convergent afterwards).
+  kk::parallel_for("SNAP::stage_fill",
+                   kk::RangePolicy<Space>(0, std::size_t(natom)),
+                   [=](std::size_t i) {
+                     int c = 0;
+                     const int jnum = numneigh(i);
+                     for (int jj = 0; jj < jnum; ++jj) {
+                       const int j = neigh(i, std::size_t(jj));
+                       const double dx = x(std::size_t(j), 0) - x(i, 0);
+                       const double dy = x(std::size_t(j), 1) - x(i, 1);
+                       const double dz = x(std::size_t(j), 2) - x(i, 2);
+                       const double rsq = dx * dx + dy * dy + dz * dz;
+                       if (rsq >= rcutsq || rsq <= 1e-20) continue;
+                       dr(i, std::size_t(c), 0) = dx;
+                       dr(i, std::size_t(c), 1) = dy;
+                       dr(i, std::size_t(c), 2) = dz;
+                       dr(i, std::size_t(c), 3) = std::sqrt(rsq);
+                       nj(i, std::size_t(c)) = j;
+                       ++c;
+                     }
+                     nn(i) = c;
+                   });
+
+  // (Re)allocate per-atom quantum-number views.
+  const std::size_t na = std::size_t(std::max<localint>(natom, 1));
+  utot_r = kk::View2D<double, Space>("snap::utot_r", na,
+                                     std::size_t(idx_.idxu_max));
+  utot_i = kk::View2D<double, Space>("snap::utot_i", na,
+                                     std::size_t(idx_.idxu_max));
+  ylist_r = kk::View2D<double, Space>("snap::ylist_r", na,
+                                      std::size_t(idx_.idxu_max));
+  ylist_i = kk::View2D<double, Space>("snap::ylist_i", na,
+                                      std::size_t(idx_.idxu_max));
+}
+
+template <class Space>
+void SNAKokkos<Space>::compute_ui() {
+  const SnaIndexes* idx = &idx_;
+  const SnaParams p = params_;
+  auto utr = utot_r;
+  auto uti = utot_i;
+  auto dr = neigh_dr;
+  auto nn = nneigh;
+  const int batch = std::max(1, ui_batch);
+  const int nbatches = (maxneigh + batch - 1) / batch;
+  const int iumax = idx_.idxu_max;
+
+  // Self term.
+  kk::parallel_for("SNAP::ComputeUi_self",
+                   kk::RangePolicy<Space>(0, std::size_t(natom)),
+                   [=](std::size_t i) {
+                     for (int k = 0; k < iumax; ++k) {
+                       utr(i, std::size_t(k)) = 0.0;
+                       uti(i, std::size_t(k)) = 0.0;
+                     }
+                     for (int j = 0; j <= p.twojmax; ++j) {
+                       const int base = idx->idxu_block[std::size_t(j)];
+                       for (int mb = 0; mb <= j; ++mb)
+                         utr(i, std::size_t(base + mb * (j + 1) + mb)) =
+                             p.wself;
+                     }
+                   });
+
+  // One team per (atom, neighbor-batch); recursion staged in team scratch;
+  // `batch` neighbors summed locally before the atomic accumulation
+  // (Table 2's ComputeUi work batching: fewer FP64 atomics + exposed ILP).
+  const std::size_t league = std::size_t(natom) * std::size_t(nbatches);
+  const std::size_t scratch =
+      std::size_t(iumax) * 4 * sizeof(double);  // u pair + local accumulator
+  auto policy =
+      kk::TeamPolicy<Space>(league, 1, 32).set_scratch_size(scratch);
+  kk::parallel_for("SNAP::ComputeUi", policy, [=](const kk::TeamMember& m) {
+    const std::size_t i = m.league_rank() / std::size_t(nbatches);
+    const int b = int(m.league_rank() % std::size_t(nbatches));
+    const int jbeg = b * batch;
+    const int jend = std::min(nn(i), jbeg + batch);
+    if (jbeg >= jend) return;
+
+    double* ur = m.team_scratch<double>(std::size_t(iumax));
+    double* ui = m.team_scratch<double>(std::size_t(iumax));
+    double* acc_r = m.team_scratch<double>(std::size_t(iumax));
+    double* acc_i = m.team_scratch<double>(std::size_t(iumax));
+    for (int k = 0; k < iumax; ++k) acc_r[k] = acc_i[k] = 0.0;
+
+    for (int jj = jbeg; jj < jend; ++jj) {
+      const double dx = dr(i, std::size_t(jj), 0);
+      const double dy = dr(i, std::size_t(jj), 1);
+      const double dz = dr(i, std::size_t(jj), 2);
+      const double r = dr(i, std::size_t(jj), 3);
+      double z0;
+      cayley_klein(p.rfac0, p.rmin0, p.rcut, r, &z0, nullptr);
+      compute_u_raw(*idx, dx, dy, dz, z0, r, ur, ui);
+      const double s = switching(p, r);
+      for (int k = 0; k < iumax; ++k) {
+        acc_r[k] += s * ur[k];
+        acc_i[k] += s * ui[k];
+      }
+    }
+    // Single atomic accumulation per batch.
+    for (int k = 0; k < iumax; ++k) {
+      kk::atomic_add(&utr(i, std::size_t(k)), acc_r[k]);
+      kk::atomic_add(&uti(i, std::size_t(k)), acc_i[k]);
+    }
+  });
+}
+
+template <class Space>
+double SNAKokkos<Space>::compute_zi_bi_energy(const double* beta) {
+  const SnaIndexes* idx = &idx_;
+  const std::size_t na = std::size_t(std::max<localint>(natom, 1));
+  if (!zlist_r.is_allocated() || zlist_r.extent(0) < na) {
+    zlist_r = kk::View2D<double, Space>("snap::zlist_r", na,
+                                        std::size_t(idx_.idxz_max));
+    zlist_i = kk::View2D<double, Space>("snap::zlist_i", na,
+                                        std::size_t(idx_.idxz_max));
+    blist = kk::View2D<double, Space>("snap::blist", na,
+                                      std::size_t(idx_.idxb_max));
+  }
+  auto utr = utot_r;
+  auto uti = utot_i;
+  auto zr = zlist_r;
+  auto zi = zlist_i;
+  auto bl = blist;
+
+  // Z: parallel over atoms, serial over idxz within a thread.
+  kk::parallel_for(
+      "SNAP::ComputeZi", kk::RangePolicy<Space>(0, std::size_t(natom)),
+      [=](std::size_t i) {
+        for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+          double z_r, z_i;
+          compute_z_entry(
+              *idx, idx->idxz[std::size_t(jjz)],
+              [&](int k) { return utr(i, std::size_t(k)); },
+              [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
+          zr(i, std::size_t(jjz)) = z_r;
+          zi(i, std::size_t(jjz)) = z_i;
+        }
+      });
+
+  // B + energy reduction.
+  double energy = 0.0;
+  kk::parallel_reduce(
+      "SNAP::ComputeBi", kk::RangePolicy<Space>(0, std::size_t(natom)),
+      [=](std::size_t i, double& esum) {
+        for (int jjb = 0; jjb < idx->idxb_max; ++jjb) {
+          const auto& t = idx->idxb[std::size_t(jjb)];
+          int jjz = idx->z_block(t.j1, t.j2, t.j);
+          int jju = idx->idxu_block[std::size_t(t.j)];
+          double sumzu = 0.0;
+          for (int mb = 0; 2 * mb < t.j; ++mb)
+            for (int ma = 0; ma <= t.j; ++ma) {
+              sumzu += utr(i, std::size_t(jju)) * zr(i, std::size_t(jjz)) +
+                       uti(i, std::size_t(jju)) * zi(i, std::size_t(jjz));
+              ++jjz;
+              ++jju;
+            }
+          if (t.j % 2 == 0) {
+            const int mb = t.j / 2;
+            for (int ma = 0; ma < mb; ++ma) {
+              sumzu += utr(i, std::size_t(jju)) * zr(i, std::size_t(jjz)) +
+                       uti(i, std::size_t(jju)) * zi(i, std::size_t(jjz));
+              ++jjz;
+              ++jju;
+            }
+            sumzu +=
+                0.5 * (utr(i, std::size_t(jju)) * zr(i, std::size_t(jjz)) +
+                       uti(i, std::size_t(jju)) * zi(i, std::size_t(jjz)));
+          }
+          const double b = 2.0 * sumzu;
+          bl(i, std::size_t(jjb)) = b;
+          esum += beta[jjb] * b;
+        }
+      },
+      energy);
+  return energy;
+}
+
+template <class Space>
+void SNAKokkos<Space>::compute_yi(const double* beta) {
+  const SnaIndexes* idx = &idx_;
+  auto utr = utot_r;
+  auto uti = utot_i;
+  auto yr = ylist_r;
+  auto yi = ylist_i;
+
+  kk::parallel_for("SNAP::Yi_zero",
+                   kk::RangePolicy<Space>(0, std::size_t(natom)),
+                   [=](std::size_t i) {
+                     for (int k = 0; k < idx->idxu_max; ++k) {
+                       yr(i, std::size_t(k)) = 0.0;
+                       yi(i, std::size_t(k)) = 0.0;
+                     }
+                   });
+
+  // Tiled (atom, flattened-Z) traversal: atom-tile width `yi_tile` is the
+  // batch size v of §4.3.2 — small enough that the U rows for v atoms stay
+  // cache-resident, large enough for convergent accesses.
+  const std::size_t v = std::size_t(std::max(1, yi_tile));
+  kk::MDRangePolicy<Space, 2> policy({std::size_t(natom),
+                                      std::size_t(idx_.idxz_max)},
+                                     {v, std::size_t(idx_.idxz_max)});
+  kk::parallel_for(
+      "SNAP::ComputeYi", policy, [=](std::size_t i, std::size_t jjz) {
+        const auto& e = idx->idxz[jjz];
+        double z_r, z_i;
+        compute_z_entry(
+            *idx, e, [&](int k) { return utr(i, std::size_t(k)); },
+            [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
+        const double betaj = beta[e.jjb] * e.beta_fac;
+        kk::atomic_add(&yr(i, std::size_t(e.jju)), betaj * z_r);
+        kk::atomic_add(&yi(i, std::size_t(e.jju)), betaj * z_i);
+      });
+}
+
+template <class Space>
+void SNAKokkos<Space>::compute_fused_deidrj(Atom& atom, double virial_out[6]) {
+  const SnaIndexes* idx = &idx_;
+  const SnaParams p = params_;
+  atom.sync<Space>(F_MASK);
+  auto f = atom.k_f.view<Space>();
+  auto yr = ylist_r;
+  auto yi = ylist_i;
+  auto drv = neigh_dr;
+  auto njv = neigh_j;
+  auto nn = nneigh;
+  const int iumax = idx_.idxu_max;
+
+  // One team per (atom, neighbor): fused dU recursion over all three
+  // directions with scratch staging, contraction with Y inlined into the
+  // force accumulation (ComputeFusedDeidrj, Table 2).
+  const std::size_t league = std::size_t(natom) * std::size_t(maxneigh);
+  const std::size_t scratch = std::size_t(iumax) * 8 * sizeof(double);
+  auto policy =
+      kk::TeamPolicy<Space>(league, 1, 32).set_scratch_size(scratch);
+
+  EV total;
+  kk::parallel_reduce(
+      "SNAP::ComputeFusedDeidrj", policy,
+      [=](const kk::TeamMember& m, EV& ev) {
+        const std::size_t i = m.league_rank() / std::size_t(maxneigh);
+        const int jj = int(m.league_rank() % std::size_t(maxneigh));
+        if (jj >= nn(i)) return;
+
+        double* ur = m.team_scratch<double>(std::size_t(iumax));
+        double* ui_ = m.team_scratch<double>(std::size_t(iumax));
+        double* dur[3];
+        double* dui[3];
+        for (int k = 0; k < 3; ++k) {
+          dur[k] = m.team_scratch<double>(std::size_t(iumax));
+          dui[k] = m.team_scratch<double>(std::size_t(iumax));
+        }
+
+        const double dx = drv(i, std::size_t(jj), 0);
+        const double dy = drv(i, std::size_t(jj), 1);
+        const double dz = drv(i, std::size_t(jj), 2);
+        const double r = drv(i, std::size_t(jj), 3);
+        double z0, dz0dr;
+        cayley_klein(p.rfac0, p.rmin0, p.rcut, r, &z0, &dz0dr);
+        compute_du_raw(*idx, dx, dy, dz, z0, r, dz0dr, ur, ui_, dur, dui);
+
+        const double s = switching(p, r);
+        const double ds = dswitching(p, r);
+        const double u3[3] = {dx / r, dy / r, dz / r};
+
+        // Contract d(sfac*U)/dr with Y using the half-plus-middle-row
+        // weighting (same traversal as ComputeDeidrj).
+        double fij[3] = {0.0, 0.0, 0.0};
+        auto accum = [&](int jju, double w) {
+          for (int k = 0; k < 3; ++k) {
+            const double dre = ds * ur[jju] * u3[k] + s * dur[k][jju];
+            const double dim = ds * ui_[jju] * u3[k] + s * dui[k][jju];
+            fij[k] += w * (dre * yr(i, std::size_t(jju)) +
+                           dim * yi(i, std::size_t(jju)));
+          }
+        };
+        for (int j = 0; j <= p.twojmax; ++j) {
+          int jju = idx->idxu_block[std::size_t(j)];
+          for (int mb = 0; 2 * mb < j; ++mb)
+            for (int ma = 0; ma <= j; ++ma) accum(jju++, 1.0);
+          if (j % 2 == 0) {
+            const int mb = j / 2;
+            for (int ma = 0; ma < mb; ++ma) accum(jju++, 1.0);
+            accum(jju, 0.5);
+          }
+        }
+        for (int k = 0; k < 3; ++k) fij[k] *= 2.0;
+
+        const int jatom = njv(i, std::size_t(jj));
+        for (std::size_t k = 0; k < 3; ++k) {
+          kk::atomic_add(&f(i, k), fij[k]);
+          kk::atomic_add(&f(std::size_t(jatom), k), -fij[k]);
+        }
+        ev.v[0] -= dx * fij[0];
+        ev.v[1] -= dy * fij[1];
+        ev.v[2] -= dz * fij[2];
+        ev.v[3] -= dx * fij[1];
+        ev.v[4] -= dx * fij[2];
+        ev.v[5] -= dy * fij[2];
+      },
+      total);
+  for (int k = 0; k < 6; ++k) virial_out[k] = total.v[k];
+  atom.modified<Space>(F_MASK);
+}
+
+template class SNAKokkos<kk::Host>;
+template class SNAKokkos<kk::Device>;
+
+}  // namespace mlk::snap

@@ -1,0 +1,79 @@
+// SNAKokkos — device-parallel SNAP kernels (§4.3.1-§4.3.4).
+//
+// Per-atom data structures (the "atom index degree of freedom" the paper
+// adds for parallelism) are Views in the execution space's layout: on the
+// Device the atom index is fastest (coalescing), on the Host the quantum
+// number index is fastest (cache lines), exactly §4.3.1.
+//
+// Kernels and their paper optimizations:
+//   ComputeUi          — parallel over (atom, neighbor-batch); each thread
+//                        evaluates the recursion for `ui_batch` neighbors,
+//                        summing locally before atomically accumulating into
+//                        U_tot (Table 2's ComputeUi work batching). Staging
+//                        lives in team scratch (§4.4 software-managed cache).
+//   ComputeZi/Bi       — energy path, parallel over atoms.
+//   ComputeYi          — parallel over (atom-tile, flattened Z index) with a
+//                        tiled traversal of batch size `yi_tile` (§4.3.2's
+//                        3-d tiling, v = 32 on NVIDIA / 16 on Intel).
+//   ComputeFusedDeidrj — per (atom, neighbor): fused dU recursion over all
+//                        three directions + contraction with Y and inline
+//                        force accumulation (Table 2's fused kernel).
+#pragma once
+
+#include "engine/atom.hpp"
+#include "engine/neighbor.hpp"
+#include "kokkos/core.hpp"
+#include "kokkos/team.hpp"
+#include "snap/sna.hpp"
+
+namespace mlk::snap {
+
+template <class Space>
+class SNAKokkos {
+ public:
+  explicit SNAKokkos(const SnaParams& p);
+
+  const SnaIndexes& idx() const { return idx_; }
+  int ncoeff() const { return idx_.idxb_max; }
+
+  // Tuning knobs (Table 2 / Fig. 2 of this reproduction).
+  int ui_batch = 4;   // neighbors per thread in ComputeUi
+  int yi_tile = 32;   // atom-tile width in ComputeYi ("v" of §4.3.2)
+
+  /// Stage neighbor data for nlocal atoms from an engine neighbor list
+  /// (full style) — positions must be current in this Space.
+  void stage_neighbors(Atom& atom, const NeighborList& list);
+
+  /// U_tot for all staged atoms (self term + neighbor sum).
+  void compute_ui();
+
+  /// Energy path: Z, then B; returns beta . B summed over atoms and fills
+  /// per-atom bispectrum rows.
+  double compute_zi_bi_energy(const double* beta);
+
+  /// Adjoint Y from beta.
+  void compute_yi(const double* beta);
+
+  /// Fused dU/dE contraction: accumulates forces into atom.k_f (this Space)
+  /// and returns the virial contribution.
+  void compute_fused_deidrj(Atom& atom, double virial_out[6]);
+
+  // Staged per-atom views (exposed for tests/benches).
+  kk::View2D<double, Space> utot_r, utot_i;   // (natom, idxu_max)
+  kk::View2D<double, Space> ylist_r, ylist_i; // (natom, idxu_max)
+  kk::View2D<double, Space> zlist_r, zlist_i; // (natom, idxz_max)
+  kk::View2D<double, Space> blist;            // (natom, idxb_max)
+  kk::View3D<double, Space> neigh_dr;         // (natom, maxneigh, 4): dx dy dz r
+  kk::View2D<int, Space> neigh_j;             // (natom, maxneigh): engine index
+  kk::View1D<int, Space> nneigh;              // per-atom staged count
+  localint natom = 0;
+  int maxneigh = 0;
+
+  const SnaParams& params() const { return params_; }
+
+ private:
+  SnaParams params_;
+  SnaIndexes idx_;
+};
+
+}  // namespace mlk::snap

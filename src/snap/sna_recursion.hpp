@@ -1,0 +1,218 @@
+// Raw-buffer Wigner-U recursion shared by the host SNA calculator and the
+// SNAKokkos device kernels (which stage these buffers in team scratch —
+// the software-managed cache of §4.4).
+#pragma once
+
+#include <cmath>
+
+#include "snap/clebsch_gordan.hpp"
+
+namespace mlk::snap {
+
+/// Cayley-Klein parameters of the hypersphere map for one neighbor.
+inline void cayley_klein(double rfac0, double rmin0, double rcut, double r,
+                         double* z0, double* dz0dr) {
+  const double rscale0 = rfac0 * 3.14159265358979323846 / (rcut - rmin0);
+  const double theta0 = (r - rmin0) * rscale0;
+  const double cs = std::cos(theta0), sn = std::sin(theta0);
+  *z0 = r * cs / sn;
+  if (dz0dr) *dz0dr = *z0 / r - (r * rscale0) * (r * r + *z0 * *z0) / (r * r);
+}
+
+/// U recursion for one neighbor into ur/ui (each idx.idxu_max doubles).
+inline void compute_u_raw(const SnaIndexes& idx, double x, double y, double z,
+                          double z0, double r, double* ur, double* ui) {
+  const double r0inv = 1.0 / std::sqrt(r * r + z0 * z0);
+  const double a_r = r0inv * z0, a_i = -r0inv * z;
+  const double b_r = r0inv * y, b_i = -r0inv * x;
+  const auto& rootpq = idx.rootpq;
+
+  ur[0] = 1.0;
+  ui[0] = 0.0;
+  for (int j = 1; j <= idx.twojmax; ++j) {
+    int jju = idx.idxu_block[std::size_t(j)];
+    int jjup = idx.idxu_block[std::size_t(j) - 1];
+    for (int mb = 0; 2 * mb <= j; ++mb) {
+      ur[jju] = 0.0;
+      ui[jju] = 0.0;
+      for (int ma = 0; ma < j; ++ma) {
+        double rpq = rootpq(std::size_t(j - ma), std::size_t(j - mb));
+        const double pur = ur[jjup], pui = ui[jjup];
+        ur[jju] += rpq * (a_r * pur + a_i * pui);
+        ui[jju] += rpq * (a_r * pui - a_i * pur);
+        rpq = rootpq(std::size_t(ma) + 1, std::size_t(j - mb));
+        ur[jju + 1] = -rpq * (b_r * pur + b_i * pui);
+        ui[jju + 1] = -rpq * (b_r * pui - b_i * pur);
+        ++jju;
+        ++jjup;
+      }
+      ++jju;
+    }
+    // u(j, j-ma, j-mb) = (-1)^(ma+mb) conj(u(j, ma, mb)).
+    jju = idx.idxu_block[std::size_t(j)];
+    int jjur = jju + (j + 1) * (j + 1) - 1;
+    int mbpar = 1;
+    for (int mb = 0; 2 * mb <= j; ++mb) {
+      int mapar = mbpar;
+      for (int ma = 0; ma <= j; ++ma) {
+        if (mapar == 1) {
+          ur[jjur] = ur[jju];
+          ui[jjur] = -ui[jju];
+        } else {
+          ur[jjur] = -ur[jju];
+          ui[jjur] = ui[jju];
+        }
+        mapar = -mapar;
+        ++jju;
+        --jjur;
+      }
+      mbpar = -mbpar;
+    }
+  }
+}
+
+/// Simultaneous U and dU recursion for one neighbor. dur/dui are arrays of
+/// three buffers (x, y, z directions), each idx.idxu_max doubles. The
+/// switching-function chain rule is applied by the caller.
+inline void compute_du_raw(const SnaIndexes& idx, double x, double y, double z,
+                           double z0, double r, double dz0dr, double* ur,
+                           double* ui, double* const dur[3],
+                           double* const dui[3]) {
+  const double rinv = 1.0 / r;
+  const double ux = x * rinv, uy = y * rinv, uz = z * rinv;
+  const double r0inv = 1.0 / std::sqrt(r * r + z0 * z0);
+  const double a_r = z0 * r0inv, a_i = -z * r0inv;
+  const double b_r = y * r0inv, b_i = -x * r0inv;
+  const double dr0invdr = -r0inv * r0inv * r0inv * (r + z0 * dz0dr);
+  const double dr0inv[3] = {dr0invdr * ux, dr0invdr * uy, dr0invdr * uz};
+  const double dz0[3] = {dz0dr * ux, dz0dr * uy, dz0dr * uz};
+
+  double da_r[3], da_i[3], db_r[3], db_i[3];
+  for (int k = 0; k < 3; ++k) {
+    da_r[k] = dz0[k] * r0inv + z0 * dr0inv[k];
+    da_i[k] = -z * dr0inv[k];
+    db_r[k] = y * dr0inv[k];
+    db_i[k] = -x * dr0inv[k];
+  }
+  da_i[2] += -r0inv;
+  db_r[1] += r0inv;
+  db_i[0] += -r0inv;
+
+  ur[0] = 1.0;
+  ui[0] = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    dur[k][0] = 0.0;
+    dui[k][0] = 0.0;
+  }
+  const auto& rootpq = idx.rootpq;
+
+  for (int j = 1; j <= idx.twojmax; ++j) {
+    int jju = idx.idxu_block[std::size_t(j)];
+    int jjup = idx.idxu_block[std::size_t(j) - 1];
+    for (int mb = 0; 2 * mb <= j; ++mb) {
+      ur[jju] = 0.0;
+      ui[jju] = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        dur[k][jju] = 0.0;
+        dui[k][jju] = 0.0;
+      }
+      for (int ma = 0; ma < j; ++ma) {
+        const double pur = ur[jjup], pui = ui[jjup];
+        double rpq = rootpq(std::size_t(j - ma), std::size_t(j - mb));
+        ur[jju] += rpq * (a_r * pur + a_i * pui);
+        ui[jju] += rpq * (a_r * pui - a_i * pur);
+        for (int k = 0; k < 3; ++k) {
+          const double pdur = dur[k][jjup], pdui = dui[k][jjup];
+          dur[k][jju] +=
+              rpq * (da_r[k] * pur + da_i[k] * pui + a_r * pdur + a_i * pdui);
+          dui[k][jju] +=
+              rpq * (da_r[k] * pui - da_i[k] * pur + a_r * pdui - a_i * pdur);
+        }
+        rpq = rootpq(std::size_t(ma) + 1, std::size_t(j - mb));
+        ur[jju + 1] = -rpq * (b_r * pur + b_i * pui);
+        ui[jju + 1] = -rpq * (b_r * pui - b_i * pur);
+        for (int k = 0; k < 3; ++k) {
+          const double pdur = dur[k][jjup], pdui = dui[k][jjup];
+          dur[k][jju + 1] =
+              -rpq * (db_r[k] * pur + db_i[k] * pui + b_r * pdur + b_i * pdui);
+          dui[k][jju + 1] =
+              -rpq * (db_r[k] * pui - db_i[k] * pur + b_r * pdui - b_i * pdur);
+        }
+        ++jju;
+        ++jjup;
+      }
+      ++jju;
+    }
+    jju = idx.idxu_block[std::size_t(j)];
+    int jjur = jju + (j + 1) * (j + 1) - 1;
+    int mbpar = 1;
+    for (int mb = 0; 2 * mb <= j; ++mb) {
+      int mapar = mbpar;
+      for (int ma = 0; ma <= j; ++ma) {
+        if (mapar == 1) {
+          ur[jjur] = ur[jju];
+          ui[jjur] = -ui[jju];
+          for (int k = 0; k < 3; ++k) {
+            dur[k][jjur] = dur[k][jju];
+            dui[k][jjur] = -dui[k][jju];
+          }
+        } else {
+          ur[jjur] = -ur[jju];
+          ui[jjur] = ui[jju];
+          for (int k = 0; k < 3; ++k) {
+            dur[k][jjur] = -dur[k][jju];
+            dui[k][jjur] = dui[k][jju];
+          }
+        }
+        mapar = -mapar;
+        ++jju;
+        --jjur;
+      }
+      mbpar = -mbpar;
+    }
+  }
+}
+
+/// Z triple product for one idxz entry from a U accessor (callable
+/// u(flat_index) -> pair-like {re, im} via two callables).
+template <class GetUr, class GetUi>
+inline void compute_z_entry(const SnaIndexes& idx, const SnaIndexes::ZEntry& e,
+                            const GetUr& get_ur, const GetUi& get_ui,
+                            double* z_r, double* z_i) {
+  const double* cgblock = idx.cglist.data() + idx.cg_offset(e.j1, e.j2, e.j);
+  double zr = 0.0, zi = 0.0;
+  int jju1 = idx.idxu_block[std::size_t(e.j1)] + (e.j1 + 1) * e.mb1min;
+  int jju2 = idx.idxu_block[std::size_t(e.j2)] + (e.j2 + 1) * e.mb2max;
+  int icgb = e.mb1min * (e.j2 + 1) + e.mb2max;
+  for (int ib = 0; ib < e.nb; ++ib) {
+    double suma1_r = 0.0, suma1_i = 0.0;
+    int ma1 = e.ma1min, ma2 = e.ma2max;
+    int icga = e.ma1min * (e.j2 + 1) + e.ma2max;
+    for (int ia = 0; ia < e.na; ++ia) {
+      const double u1r = get_ur(jju1 + ma1), u1i = get_ui(jju1 + ma1);
+      const double u2r = get_ur(jju2 + ma2), u2i = get_ui(jju2 + ma2);
+      const double cga = cgblock[icga];
+      suma1_r += cga * (u1r * u2r - u1i * u2i);
+      suma1_i += cga * (u1r * u2i + u1i * u2r);
+      ++ma1;
+      --ma2;
+      icga += e.j2;
+    }
+    zr += cgblock[icgb] * suma1_r;
+    zi += cgblock[icgb] * suma1_i;
+    jju1 += e.j1 + 1;
+    jju2 -= e.j2 + 1;
+    icgb += e.j2;
+  }
+  *z_r = zr;
+  *z_i = zi;
+}
+
+/// Symmetry-weighted beta lookup for the Y accumulation (§4.3.2),
+/// pre-resolved at index-build time.
+inline double beta_weight(const SnaIndexes&, const SnaIndexes::ZEntry& e,
+                          const double* beta) {
+  return beta[e.jjb] * e.beta_fac;
+}
+
+}  // namespace mlk::snap

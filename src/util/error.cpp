@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace mlk {
+
+void fatal(const std::string& msg) { throw Error(msg); }
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace mlk

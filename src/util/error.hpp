@@ -1,0 +1,22 @@
+// Error handling: all fatal conditions throw mlk::Error so tests can assert
+// on failure paths instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlk {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Throw mlk::Error with printf-style formatting.
+[[noreturn]] void fatal(const std::string& msg);
+
+/// Require `cond`; otherwise throw Error(msg). Used for user-input validation
+/// (always on, unlike assert).
+void require(bool cond, const std::string& msg);
+
+}  // namespace mlk

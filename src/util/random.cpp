@@ -1,0 +1,56 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+namespace {
+constexpr std::int64_t kIA = 16807;
+constexpr std::int64_t kIM = 2147483647;
+constexpr double kAM = 1.0 / double(kIM);
+constexpr std::int64_t kIQ = 127773;
+constexpr std::int64_t kIR = 2836;
+}  // namespace
+
+RanPark::RanPark(int seed) { reset(seed); }
+
+void RanPark::reset(int seed) {
+  require(seed > 0, "RanPark seed must be positive");
+  seed_ = seed;
+  save_ = false;
+  second_ = 0.0;
+}
+
+double RanPark::uniform() {
+  const std::int64_t k = seed_ / kIQ;
+  seed_ = kIA * (seed_ - k * kIQ) - kIR * k;
+  if (seed_ < 0) seed_ += kIM;
+  return kAM * double(seed_);
+}
+
+double RanPark::gaussian() {
+  if (save_) {
+    save_ = false;
+    return second_;
+  }
+  double v1, v2, rsq;
+  do {
+    v1 = 2.0 * uniform() - 1.0;
+    v2 = 2.0 * uniform() - 1.0;
+    rsq = v1 * v1 + v2 * v2;
+  } while (rsq >= 1.0 || rsq == 0.0);
+  const double fac = std::sqrt(-2.0 * std::log(rsq) / rsq);
+  second_ = v1 * fac;
+  save_ = true;
+  return v2 * fac;
+}
+
+int RanPark::irandom(int lo, int hi) {
+  const int span = hi - lo + 1;
+  int r = lo + int(uniform() * span);
+  return r > hi ? hi : r;
+}
+
+}  // namespace mlk

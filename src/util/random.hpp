@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation.
+//
+// LAMMPS uses a Park-Miller / Marsaglia generator so that runs are bitwise
+// reproducible across platforms independent of the C++ standard library;
+// we follow the same approach with a Park-Miller minimal standard LCG plus a
+// Marsaglia-polar gaussian, matching the classic RanPark/RanMars pairing.
+#pragma once
+
+#include <cstdint>
+
+namespace mlk {
+
+/// Park-Miller minimal-standard linear congruential generator (RanPark).
+class RanPark {
+ public:
+  explicit RanPark(int seed);
+
+  /// Uniform double in (0,1).
+  double uniform();
+
+  /// Standard normal variate (Marsaglia polar method).
+  double gaussian();
+
+  /// Uniform integer in [lo, hi].
+  int irandom(int lo, int hi);
+
+  /// Re-seed, e.g. to decorrelate per-rank streams.
+  void reset(int seed);
+
+ private:
+  std::int64_t seed_;
+  bool save_ = false;
+  double second_ = 0.0;
+};
+
+}  // namespace mlk

@@ -1,0 +1,74 @@
+#include "util/string_utils.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mlk {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+double to_double(const std::string& tok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  require(end && *end == '\0' && end != tok.c_str(),
+          "expected floating point number, got '" + tok + "'");
+  return v;
+}
+
+int to_int(const std::string& tok) {
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  require(end && *end == '\0' && end != tok.c_str(),
+          "expected integer, got '" + tok + "'");
+  return static_cast<int>(v);
+}
+
+long long to_bigint(const std::string& tok) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  require(end && *end == '\0' && end != tok.c_str(),
+          "expected integer, got '" + tok + "'");
+  return v;
+}
+
+bool to_bool(const std::string& tok) {
+  if (tok == "on" || tok == "yes" || tok == "true" || tok == "1") return true;
+  if (tok == "off" || tok == "no" || tok == "false" || tok == "0") return false;
+  fatal("expected on/off flag, got '" + tok + "'");
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string strip_style_suffix(const std::string& style, std::string* suffix) {
+  for (const char* sfx : {"/kk/device", "/kk/host", "/kk"}) {
+    if (ends_with(style, sfx)) {
+      if (suffix) *suffix = sfx;
+      return style.substr(0, style.size() - std::string(sfx).size());
+    }
+  }
+  if (suffix) suffix->clear();
+  return style;
+}
+
+}  // namespace mlk

@@ -1,0 +1,25 @@
+// Small string helpers for the input-script parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlk {
+
+/// Split on whitespace; '#' starts a comment that runs to end of line.
+std::vector<std::string> tokenize(const std::string& line);
+
+/// Parse helpers that throw mlk::Error with the offending token on failure.
+double to_double(const std::string& tok);
+int to_int(const std::string& tok);
+long long to_bigint(const std::string& tok);
+bool to_bool(const std::string& tok);  // "on|off|yes|no|true|false|1|0"
+
+/// True if `s` ends with `suffix`.
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Strip a trailing style suffix ("/kk", "/kk/host", "/kk/device") if present;
+/// returns the base name and sets `suffix` to what was removed ("" if none).
+std::string strip_style_suffix(const std::string& style, std::string* suffix);
+
+}  // namespace mlk

@@ -1,0 +1,14 @@
+#include "util/timer.hpp"
+
+namespace mlk {
+
+void TimerSet::add(const std::string& name, double seconds) {
+  acc_[name] += seconds;
+}
+
+double TimerSet::total(const std::string& name) const {
+  auto it = acc_.find(name);
+  return it == acc_.end() ? 0.0 : it->second;
+}
+
+}  // namespace mlk

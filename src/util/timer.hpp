@@ -1,0 +1,51 @@
+// Wall-clock timing helpers used by the thermo output and the bench harness.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace mlk {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { start(); }
+  void start() { t0_ = clock::now(); }
+  /// Seconds since start().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+/// Named accumulating timers, LAMMPS-style breakdown (Pair/Neigh/Comm/...).
+class TimerSet {
+ public:
+  void add(const std::string& name, double seconds);
+  double total(const std::string& name) const;
+  const std::map<std::string, double>& all() const { return acc_; }
+  void clear() { acc_.clear(); }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+/// RAII region timer accumulating into a TimerSet entry.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerSet& set, std::string name) : set_(set), name_(std::move(name)) {}
+  ~ScopedTimer() { set_.add(name_, t_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerSet& set_;
+  std::string name_;
+  Timer t_;
+};
+
+}  // namespace mlk

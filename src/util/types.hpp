@@ -1,0 +1,40 @@
+// Fundamental scalar types used throughout miniLAMMPS-KK.
+//
+// Mirrors LAMMPS's compile-time `bigint` abstraction (paper, Appendix B):
+// quantities that can exceed 2^31 in exascale-size runs — global atom counts,
+// sparse-matrix row offsets, cumulative neighbor counts — are typed `bigint`
+// (64-bit) while bounded per-row/per-atom quantities stay 32-bit for space
+// efficiency.
+#pragma once
+
+#include <cstdint>
+
+namespace mlk {
+
+/// 64-bit integer for quantities that can overflow 32 bits at scale:
+/// global atom counts, CSR row offsets, total pair counts.
+using bigint = std::int64_t;
+
+/// Atom tag (global identifier). 64-bit: exascale runs exceed 2^31 atoms.
+using tagint = std::int64_t;
+
+/// Local (per-rank) atom index. Bounded by per-rank atom count.
+using localint = std::int32_t;
+
+/// Default floating point type for coordinates, forces, energies.
+using real = double;
+
+/// A packed quadruple of 32-bit indices, the `int4` of §4.2.1 used for the
+/// compressed torsion-quad interaction table.
+struct int4 {
+  std::int32_t i, j, k, l;
+  friend bool operator==(const int4&, const int4&) = default;
+};
+
+/// A packed triple for three-body (angle) interaction tables.
+struct int3 {
+  std::int32_t i, j, k;
+  friend bool operator==(const int3&, const int3&) = default;
+};
+
+}  // namespace mlk

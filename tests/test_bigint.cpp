@@ -1,0 +1,80 @@
+// Appendix B regression tests: exascale-preparedness against 32-bit integer
+// overflow — 64-bit scan offsets, 2-D neighbor tables, and the typed
+// bigint plumbing.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "kokkos/core.hpp"
+#include "reaxff/sparse.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+namespace {
+
+TEST(BigInt, TypesAre64Bit) {
+  static_assert(sizeof(bigint) == 8);
+  static_assert(sizeof(tagint) == 8);
+  // Row offsets of the over-allocated CSR are bigint (Appendix B: only the
+  // cumulative offsets can overflow; columns and counts stay 32-bit).
+  static_assert(
+      std::is_same_v<decltype(reaxff::OACSR<kk::Host>{}.row_offset(0)),
+                     bigint&>);
+  static_assert(
+      std::is_same_v<decltype(reaxff::OACSR<kk::Host>{}.row_count(0)), int&>);
+}
+
+TEST(BigInt, ScanAccumulatesPast32Bits) {
+  // A cumulative neighbor-count scan whose total exceeds 2^31 — exactly the
+  // quantity that overflowed in production ReaxFF runs (Appendix B). Each
+  // of 1e6 rows contributes 4000 "neighbors": total 4e9 > 2^31.
+  const std::size_t rows = 1000000;
+  const bigint per_row = 4000;
+  bigint total = 0;
+  bigint last_offset = -1;
+  kk::parallel_scan("bigint_scan", kk::RangePolicy<kk::Host>(0, rows),
+                    [&](std::size_t i, bigint& update, bool final) {
+                      if (final && i == rows - 1) last_offset = update;
+                      update += per_row;
+                    },
+                    total);
+  EXPECT_EQ(total, bigint(4000000000));
+  EXPECT_GT(total, bigint(std::numeric_limits<std::int32_t>::max()));
+  EXPECT_EQ(last_offset, total - per_row);
+}
+
+TEST(BigInt, DeviceScanAlsoPast32Bits) {
+  const std::size_t rows = 500000;
+  bigint total = 0;
+  kk::parallel_scan("bigint_scan_dev", kk::RangePolicy<kk::Device>(0, rows),
+                    [&](std::size_t, bigint& update, bool) { update += 9000; },
+                    total);
+  EXPECT_EQ(total, bigint(4500000000));
+}
+
+TEST(BigInt, TwoDNeighborTableAvoidsFlatIndexOverflow) {
+  // The Appendix B refactor: a (rows x width) 2-D table indexes with two
+  // 32-bit-safe coordinates even when rows*width exceeds 2^31. We verify
+  // the indexing arithmetic (not a 17 GB allocation): with LayoutRight the
+  // element offset is computed in size_t, never through int.
+  const std::size_t rows = 70000, width = 35000;  // rows*width = 2.45e9
+  static_assert(sizeof(std::size_t) == 8);
+  // Offset of the last element must exceed INT32_MAX without wrapping.
+  const std::size_t last = (rows - 1) * width + (width - 1);
+  EXPECT_GT(last, std::size_t(std::numeric_limits<std::int32_t>::max()));
+  // Spot-check the View stride math on a small table with the same types.
+  kk::View<int, 2> t("t", 3, 5);
+  t(2, 4) = 42;
+  EXPECT_EQ(t.data()[2 * 5 + 4], 42);
+}
+
+TEST(BigInt, GlobalAtomCountArithmetic) {
+  // 8192 nodes x 8 GCDs x 40M atoms/GCD > 2^31 atoms.
+  const bigint per_gpu = 40000000;
+  const bigint total = bigint(8192) * 8 * per_gpu;
+  EXPECT_EQ(total, bigint(2621440000000));
+  EXPECT_GT(total, bigint(std::numeric_limits<std::int32_t>::max()));
+}
+
+}  // namespace
+}  // namespace mlk

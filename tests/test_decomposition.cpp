@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "comm/decomposition.hpp"
+#include "util/error.hpp"
+
+namespace {
+using mlk::factor_grid;
+using mlk::grid_rank;
+using mlk::make_grid;
+using mlk::ProcGrid;
+using mlk::subbox_bounds;
+
+TEST(FactorGrid, ProductEqualsRanks) {
+  for (int p : {1, 2, 3, 4, 6, 8, 12, 16, 64, 100, 128}) {
+    auto np = factor_grid(p, 10.0, 10.0, 10.0);
+    EXPECT_EQ(np[0] * np[1] * np[2], p) << "p=" << p;
+  }
+}
+
+TEST(FactorGrid, CubicBoxPrefersBalancedGrid) {
+  auto np = factor_grid(8, 10.0, 10.0, 10.0);
+  EXPECT_EQ(np[0], 2);
+  EXPECT_EQ(np[1], 2);
+  EXPECT_EQ(np[2], 2);
+}
+
+TEST(FactorGrid, ElongatedBoxSplitsLongDimension) {
+  auto np = factor_grid(4, 40.0, 10.0, 10.0);
+  EXPECT_EQ(np[0], 4);
+  EXPECT_EQ(np[1], 1);
+  EXPECT_EQ(np[2], 1);
+}
+
+TEST(MakeGrid, CoordinatesRoundTrip) {
+  const int P = 12;
+  for (int r = 0; r < P; ++r) {
+    ProcGrid g = make_grid(r, P, 10.0, 10.0, 10.0);
+    EXPECT_EQ(grid_rank(g, g.coord[0], g.coord[1], g.coord[2]), r);
+  }
+}
+
+TEST(MakeGrid, NeighborSymmetry) {
+  // my lo-neighbor's hi-neighbor is me (periodic wrap included).
+  const int P = 8;
+  for (int r = 0; r < P; ++r) {
+    ProcGrid g = make_grid(r, P, 10.0, 10.0, 10.0);
+    for (int d = 0; d < 3; ++d) {
+      ProcGrid glo = make_grid(g.neighbor_lo[d], P, 10.0, 10.0, 10.0);
+      EXPECT_EQ(glo.neighbor_hi[d], r) << "rank " << r << " dim " << d;
+    }
+  }
+}
+
+TEST(SubboxBounds, TileTheBoxExactly) {
+  const int P = 6;
+  for (int d = 0; d < 3; ++d) {
+    double covered = 0.0;
+    for (int r = 0; r < P; ++r) {
+      ProcGrid g = make_grid(r, P, 12.0, 8.0, 4.0);
+      double lo, hi;
+      subbox_bounds(g, d, 0.0, 12.0, &lo, &hi);
+      EXPECT_LT(lo, hi);
+      covered += (hi - lo);
+    }
+    // Each slab counted np[other dims] times; total = 12 * P / np[d].
+    ProcGrid g0 = make_grid(0, P, 12.0, 8.0, 4.0);
+    EXPECT_NEAR(covered, 12.0 * P / g0.np[d], 1e-12);
+  }
+}
+
+TEST(SubboxBounds, AdjacentRanksShareFaces) {
+  const int P = 4;
+  ProcGrid g0 = make_grid(0, P, 16.0, 1.0, 1.0);
+  ASSERT_EQ(g0.np[0], 4);
+  for (int r = 0; r + 1 < P; ++r) {
+    ProcGrid a = make_grid(r, P, 16.0, 1.0, 1.0);
+    ProcGrid b = make_grid(r + 1, P, 16.0, 1.0, 1.0);
+    double alo, ahi, blo, bhi;
+    subbox_bounds(a, 0, 0.0, 16.0, &alo, &ahi);
+    subbox_bounds(b, 0, 0.0, 16.0, &blo, &bhi);
+    EXPECT_DOUBLE_EQ(ahi, blo);
+  }
+}
+
+TEST(MakeGrid, SingleRankIsItsOwnNeighbor) {
+  ProcGrid g = make_grid(0, 1, 5.0, 5.0, 5.0);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(g.neighbor_lo[d], 0);
+    EXPECT_EQ(g.neighbor_hi[d], 0);
+  }
+}
+
+TEST(MakeGrid, RejectsBadRank) {
+  EXPECT_THROW(make_grid(4, 4, 1.0, 1.0, 1.0), mlk::Error);
+  EXPECT_THROW(factor_grid(0, 1.0, 1.0, 1.0), mlk::Error);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// EAM (many-body baseline with mid-evaluation communication) and tabulated
+// pair style tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pair/pair_eam.hpp"
+#include "pair/pair_eam_kokkos.hpp"
+#include "pair/pair_table.hpp"
+#include "test_helpers.hpp"
+
+namespace mlk {
+namespace {
+
+using testing::numerical_force;
+using testing::total_pe;
+
+std::unique_ptr<Simulation> make_eam_system(const std::string& style) {
+  init_all();
+  auto sim = std::make_unique<Simulation>();
+  Input in(*sim);
+  in.line("units metal");
+  in.line("lattice fcc 3.615");  // copper-like
+  in.line("create_atoms 3 3 3 jitter 0.03 2211");
+  in.line("mass 1 63.55");
+  in.line("pair_style " + style + " 4.5");
+  in.line("pair_coeff * * 2.0 0.5");
+  sim->thermo.print = false;
+  return sim;
+}
+
+TEST(EAMKernel, DensityAndPairSmoothAtCutoff) {
+  const double cutsq = 4.0;
+  EXPECT_DOUBLE_EQ(PairEAM::rho_a(cutsq, cutsq), 0.0);
+  EXPECT_DOUBLE_EQ(PairEAM::phi(cutsq, cutsq, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(PairEAM::drho_a(cutsq, cutsq), 0.0);
+  EXPECT_GT(PairEAM::rho_a(1.0, cutsq), 0.0);
+}
+
+TEST(EAMKernel, DerivativesMatchNumerics) {
+  const double cutsq = 20.25;  // cut = 4.5
+  for (double r : {1.5, 2.5, 3.9}) {
+    const double h = 1e-6;
+    const double drho_num =
+        (PairEAM::rho_a((r + h) * (r + h), cutsq) -
+         PairEAM::rho_a((r - h) * (r - h), cutsq)) /
+        (2 * h);
+    EXPECT_NEAR(PairEAM::drho_a(r * r, cutsq) * r, drho_num, 1e-7);
+    const double dphi_num =
+        (PairEAM::phi((r + h) * (r + h), cutsq, 2.0) -
+         PairEAM::phi((r - h) * (r - h), cutsq, 2.0)) /
+        (2 * h);
+    EXPECT_NEAR(PairEAM::dphi(r * r, cutsq, 2.0) * r, dphi_num, 1e-7);
+    const double rho = 1.7;
+    const double demb_num =
+        (PairEAM::embed(rho + h, 3.0) - PairEAM::embed(rho - h, 3.0)) / (2 * h);
+    EXPECT_NEAR(PairEAM::dembed(rho, 3.0), demb_num, 1e-8);
+  }
+}
+
+TEST(EAMHost, ForcesMatchNumericalGradient) {
+  auto sim = make_eam_system("eam");
+  total_pe(*sim);
+  sim->atom.template sync<kk::Host>(F_MASK);
+  for (localint i : {0, 11}) {
+    for (int d = 0; d < 3; ++d) {
+      const double fa = sim->atom.k_f.h_view(std::size_t(i), std::size_t(d));
+      const double fn = numerical_force(*sim, i, d);
+      EXPECT_NEAR(fa, fn, 1e-5 * std::max(1.0, std::abs(fa)))
+          << "atom " << i << " dim " << d;
+      sim->atom.template sync<kk::Host>(F_MASK);
+    }
+  }
+}
+
+TEST(EAMHost, EmbeddingMakesItManyBody) {
+  // EAM is not pairwise: the embedding energy changes nonlinearly when a
+  // neighborhood is compressed uniformly.
+  auto sim = make_eam_system("eam");
+  auto* pair = dynamic_cast<PairEAM*>(sim->pair.get());
+  ASSERT_NE(pair, nullptr);
+  const double e = total_pe(*sim);
+  EXPECT_LT(e, 0.0);  // cohesive
+}
+
+template <class Space>
+void eam_kokkos_matches() {
+  auto ref = make_eam_system("eam");
+  const double e_ref = total_pe(*ref);
+  ref->atom.sync<kk::Host>(F_MASK);
+
+  auto sim =
+      make_eam_system(Space::is_device ? "eam/kk/device" : "eam/kk/host");
+  const double e = total_pe(*sim);
+  EXPECT_NEAR(e, e_ref, 1e-10 * std::abs(e_ref));
+  sim->atom.template sync<kk::Host>(F_MASK);
+  for (localint i = 0; i < sim->atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(sim->atom.k_f.h_view(std::size_t(i), std::size_t(d)),
+                  ref->atom.k_f.h_view(std::size_t(i), std::size_t(d)), 1e-9);
+}
+
+TEST(EAMKokkos, DeviceMatchesHost) { eam_kokkos_matches<kk::Device>(); }
+TEST(EAMKokkos, HostSpaceMatchesLegacy) { eam_kokkos_matches<kk::Host>(); }
+
+TEST(EAMKokkos, GhostFpTransfersOnlyWhenStale) {
+  // The embedding-derivative DualView must not ping-pong: exactly one
+  // device->host transfer per compute (for the forward comm) and one
+  // host->device (after ghosts updated).
+  auto sim = make_eam_system("eam/kk/device");
+  total_pe(*sim);
+  auto* pair = dynamic_cast<PairEAMKokkos<kk::Device>*>(sim->pair.get());
+  ASSERT_NE(pair, nullptr);
+  const std::size_t before = pair->fp().transfer_count();
+  total_pe(*sim);
+  const std::size_t per_compute = pair->fp().transfer_count() - before;
+  EXPECT_EQ(per_compute, 2u);
+}
+
+TEST(PairTable, InterpolatesLJToTightTolerance) {
+  init_all();
+  auto lj = testing::make_lj_system(3, 0.8442, 0.05, "lj/cut");
+  const double e_lj = total_pe(*lj);
+
+  auto tab = std::make_unique<Simulation>();
+  Input in(*tab);
+  in.line("units lj");
+  in.line("lattice fcc 0.8442");
+  in.line("create_atoms 3 3 3 jitter 0.05 78123");
+  in.line("mass 1 1.0");
+  in.line("velocity all create 1.44 87287");
+  in.line("pair_style table 8000 2.5");
+  in.line("pair_coeff * * lj 1.0 1.0");
+  tab->thermo.print = false;
+  const double e_tab = total_pe(*tab);
+  EXPECT_NEAR(e_tab, e_lj, 5e-4 * std::abs(e_lj));
+}
+
+TEST(PairTable, MorseFormRuns) {
+  init_all();
+  auto sim = std::make_unique<Simulation>();
+  Input in(*sim);
+  in.line("units lj");
+  in.line("lattice fcc 1.0");
+  in.line("create_atoms 3 3 3");
+  in.line("mass 1 1.0");
+  in.line("pair_style table 2000 2.5");
+  in.line("pair_coeff * * morse 1.0 2.0");
+  sim->thermo.print = false;
+  const double e = total_pe(*sim);
+  EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(PairTable, RejectsBadSettings) {
+  PairTable t;
+  EXPECT_THROW(t.settings({"1"}), Error);          // too few points
+  EXPECT_THROW(t.settings({}), Error);             // missing args
+  EXPECT_THROW(t.coeff({"*", "*", "exp", "1", "2"}), Error);  // unknown form
+}
+
+}  // namespace
+}  // namespace mlk

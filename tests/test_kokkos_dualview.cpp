@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "kokkos/dualview.hpp"
+
+namespace {
+
+TEST(DualView, SyncCopiesOnlyWhenStale) {
+  kk::DualView<double, 1> dv("dv", 4);
+  EXPECT_EQ(dv.transfer_count(), 0u);
+
+  dv.h_view(0) = 1.0;
+  dv.modify<kk::Host>();
+  EXPECT_TRUE(dv.need_sync<kk::Device>());
+  dv.sync<kk::Device>();
+  EXPECT_DOUBLE_EQ(dv.d_view(0), 1.0);
+  EXPECT_EQ(dv.transfer_count(), 1u);
+
+  // Repeated sync with no new modification: no transfer (the paper's claim
+  // that flag-driven sync eliminates redundant copies).
+  dv.sync<kk::Device>();
+  dv.sync<kk::Device>();
+  EXPECT_EQ(dv.transfer_count(), 1u);
+}
+
+TEST(DualView, RoundTripDeviceToHost) {
+  kk::DualView<int, 1> dv("dv", 3);
+  dv.d_view(2) = 42;
+  dv.modify<kk::Device>();
+  EXPECT_TRUE(dv.need_sync<kk::Host>());
+  dv.sync<kk::Host>();
+  EXPECT_EQ(dv.h_view(2), 42);
+  EXPECT_FALSE(dv.need_sync<kk::Host>());
+}
+
+TEST(DualView, SyncToOwnSpaceIsNoop) {
+  kk::DualView<double, 1> dv("dv", 2);
+  dv.h_view(0) = 5.0;
+  dv.modify<kk::Host>();
+  dv.sync<kk::Host>();  // host already current
+  EXPECT_EQ(dv.transfer_count(), 0u);
+  EXPECT_TRUE(dv.need_sync<kk::Device>());
+}
+
+TEST(DualView, Rank2TransposesBetweenSpaces) {
+  kk::DualView<double, 2> dv("dv", 2, 3);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) dv.h_view(i, j) = double(10 * i + j);
+  dv.modify<kk::Host>();
+  dv.sync<kk::Device>();
+  // Logical contents equal; memory layouts differ (host row-major, device
+  // column-major), mirroring GPU coalescing-friendly transposition.
+  EXPECT_DOUBLE_EQ(dv.d_view(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(dv.h_view.data()[1], 1.0);   // h(0,1)
+  EXPECT_DOUBLE_EQ(dv.d_view.data()[1], 10.0);  // d(1,0)
+}
+
+TEST(DualView, HostPointerAliasingSurvivesSync) {
+  // Legacy code holds a raw pointer into the host view (Fig. 1's
+  // AtomVecAtomic x aliasing AtomVecAtomicKokkos's h_view).
+  kk::DualView<double, 2> dv("x", 4, 3);
+  double* raw = dv.h_view.data();
+  raw[0 * 3 + 1] = 9.5;  // legacy write to x[0][1]
+  dv.modify<kk::Host>();
+  dv.sync<kk::Device>();
+  EXPECT_DOUBLE_EQ(dv.d_view(0, 1), 9.5);
+  // Device modifies, sync back: legacy pointer sees the update.
+  dv.d_view(0, 1) = -2.5;
+  dv.modify<kk::Device>();
+  dv.sync<kk::Host>();
+  EXPECT_DOUBLE_EQ(raw[0 * 3 + 1], -2.5);
+  EXPECT_EQ(raw, dv.h_view.data());
+}
+
+TEST(DualView, ResizePreserveKeepsNewestCopy) {
+  kk::DualView<double, 1> dv("dv", 2);
+  dv.h_view(0) = 1.0;
+  dv.h_view(1) = 2.0;
+  dv.modify<kk::Host>();
+  dv.resize_preserve(4);
+  EXPECT_EQ(dv.extent(0), 4u);
+  dv.sync<kk::Device>();
+  EXPECT_DOUBLE_EQ(dv.d_view(0), 1.0);
+  EXPECT_DOUBLE_EQ(dv.d_view(1), 2.0);
+}
+
+TEST(DualView, ResizePreserveDeviceAuthoritative) {
+  kk::DualView<double, 1> dv("dv", 2);
+  dv.d_view(0) = 7.0;
+  dv.modify<kk::Device>();
+  dv.resize_preserve(3);
+  dv.sync<kk::Host>();
+  EXPECT_DOUBLE_EQ(dv.h_view(0), 7.0);
+}
+
+TEST(DualView, ReallocClearsFlags) {
+  kk::DualView<double, 1> dv("dv", 2);
+  dv.h_view(0) = 3.0;
+  dv.modify<kk::Host>();
+  dv.realloc(8);
+  EXPECT_FALSE(dv.need_sync<kk::Device>());
+  EXPECT_FALSE(dv.need_sync<kk::Host>());
+  EXPECT_EQ(dv.extent(0), 8u);
+}
+
+TEST(DualView, PureHostUsageIncursNoTransfers) {
+  // §3.2: in a pure host build the sync machinery is inert.
+  kk::DualView<double, 1> dv("dv", 16);
+  for (int pass = 0; pass < 10; ++pass) {
+    dv.h_view(0) += 1.0;
+    dv.modify<kk::Host>();
+    dv.sync<kk::Host>();
+  }
+  EXPECT_EQ(dv.transfer_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "kokkos/view.hpp"
+
+namespace {
+
+TEST(View, ExtentsAndSize) {
+  kk::View<double, 3> v("v", 2, 3, 4);
+  EXPECT_EQ(v.extent(0), 2u);
+  EXPECT_EQ(v.extent(1), 3u);
+  EXPECT_EQ(v.extent(2), 4u);
+  EXPECT_EQ(v.size(), 24u);
+  EXPECT_TRUE(v.is_allocated());
+}
+
+TEST(View, DefaultConstructedIsEmpty) {
+  kk::View<int, 1> v;
+  EXPECT_FALSE(v.is_allocated());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(View, ZeroInitialized) {
+  kk::View<double, 2> v("v", 3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(v(i, j), 0.0);
+}
+
+TEST(View, LayoutRightIsRowMajor) {
+  kk::View<int, 2, kk::LayoutRight> v("v", 2, 3);
+  v(0, 0) = 1;
+  v(0, 1) = 2;
+  v(1, 0) = 10;
+  // Row-major: consecutive second index is adjacent in memory.
+  EXPECT_EQ(v.data()[0], 1);
+  EXPECT_EQ(v.data()[1], 2);
+  EXPECT_EQ(v.data()[3], 10);
+}
+
+TEST(View, LayoutLeftIsColumnMajor) {
+  kk::View<int, 2, kk::LayoutLeft> v("v", 2, 3);
+  v(0, 0) = 1;
+  v(1, 0) = 2;
+  v(0, 1) = 10;
+  // Column-major: consecutive first index is adjacent in memory.
+  EXPECT_EQ(v.data()[0], 1);
+  EXPECT_EQ(v.data()[1], 2);
+  EXPECT_EQ(v.data()[2], 10);
+}
+
+TEST(View, SharedOwnership) {
+  kk::View<double, 1> a("a", 5);
+  kk::View<double, 1> b = a;  // shallow copy, same allocation
+  b(2) = 7.0;
+  EXPECT_DOUBLE_EQ(a(2), 7.0);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(View, DeepCopyAcrossLayouts) {
+  kk::View<double, 2, kk::LayoutRight> h("h", 3, 4);
+  kk::View<double, 2, kk::LayoutLeft> d("d", 3, 4);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) h(i, j) = double(10 * i + j);
+  kk::deep_copy(d, h);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(d(i, j), 10.0 * i + j);
+  // Memory order differs even though logical contents match.
+  EXPECT_DOUBLE_EQ(h.data()[1], 1.0);   // h(0,1)
+  EXPECT_DOUBLE_EQ(d.data()[1], 10.0);  // d(1,0)
+}
+
+TEST(View, FillAndScalarDeepCopy) {
+  kk::View<double, 1> v("v", 10);
+  kk::deep_copy(v, 3.5);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(v(i), 3.5);
+}
+
+TEST(View, ResizePreserveGrows) {
+  kk::View<double, 2> v("v", 2, 3);
+  v(0, 0) = 1.0;
+  v(1, 2) = 6.0;
+  v.resize_preserve(5);
+  EXPECT_EQ(v.extent(0), 5u);
+  EXPECT_EQ(v.extent(1), 3u);
+  EXPECT_DOUBLE_EQ(v(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(v(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(v(4, 0), 0.0);
+}
+
+TEST(View, ResizePreserveShrinks) {
+  kk::View<double, 1> v("v", 4);
+  for (std::size_t i = 0; i < 4; ++i) v(i) = double(i);
+  v.resize_preserve(2);
+  EXPECT_EQ(v.extent(0), 2u);
+  EXPECT_DOUBLE_EQ(v(1), 1.0);
+}
+
+TEST(View, ReallocDiscardsContents) {
+  kk::View<double, 1> v("v", 3);
+  v(0) = 9.0;
+  v.realloc(6);
+  EXPECT_EQ(v.extent(0), 6u);
+  EXPECT_DOUBLE_EQ(v(0), 0.0);
+}
+
+TEST(View, Rank4RoundTrip) {
+  kk::View<float, 4, kk::LayoutLeft> v("v", 2, 2, 2, 2);
+  v(1, 0, 1, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(v(1, 0, 1, 0), 5.0f);
+  EXPECT_EQ(v.size(), 16u);
+}
+
+TEST(View, SpaceDefaultLayouts) {
+  static_assert(
+      std::is_same_v<kk::Host::default_layout, kk::LayoutRight>);
+  static_assert(std::is_same_v<kk::Device::default_layout, kk::LayoutLeft>);
+  kk::View2D<double, kk::Device> d("d", 2, 2);
+  kk::View2D<double, kk::Host> h("h", 2, 2);
+  d(1, 0) = 1.0;
+  h(0, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(d.data()[1], 1.0);  // first index fastest on device
+  EXPECT_DOUBLE_EQ(h.data()[1], 1.0);  // last index fastest on host
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pair/pair_lj_cut.hpp"
+#include "pair/pair_lj_cut_kokkos.hpp"
+#include "test_helpers.hpp"
+
+namespace mlk {
+namespace {
+
+using testing::make_lj_system;
+using testing::numerical_force;
+using testing::total_pe;
+
+TEST(LJMath, MinimumAtTwoToTheSixth) {
+  // dE/dr = 0 at r = 2^(1/6) sigma; fpair crosses zero there.
+  const double lj1 = 48.0, lj2 = 24.0;  // eps=sigma=1
+  const double rmin_sq = std::pow(2.0, 1.0 / 3.0);
+  EXPECT_NEAR(PairLJCut::pair_force(rmin_sq, lj1, lj2), 0.0, 1e-12);
+  EXPECT_GT(PairLJCut::pair_force(rmin_sq * 0.9, lj1, lj2), 0.0);  // repulsive
+  EXPECT_LT(PairLJCut::pair_force(rmin_sq * 1.1, lj1, lj2), 0.0);  // attractive
+}
+
+TEST(LJMath, EnergyAtMinimumIsMinusEpsilon) {
+  const double lj3 = 4.0, lj4 = 4.0;
+  const double rmin_sq = std::pow(2.0, 1.0 / 3.0);
+  EXPECT_NEAR(PairLJCut::pair_energy(rmin_sq, lj3, lj4), -1.0, 1e-12);
+}
+
+TEST(LJHost, ForcesMatchNumericalGradient) {
+  auto sim = make_lj_system(2, 0.8442, 0.06);
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(F_MASK);
+  for (localint i : {0, 5, 13}) {
+    for (int d = 0; d < 3; ++d) {
+      const double fa = sim->atom.k_f.h_view(std::size_t(i), std::size_t(d));
+      const double fn = numerical_force(*sim, i, d);
+      EXPECT_NEAR(fa, fn, 1e-5 * std::max(1.0, std::abs(fa)))
+          << "atom " << i << " dim " << d;
+      sim->atom.sync<kk::Host>(F_MASK);
+    }
+  }
+}
+
+TEST(LJHost, NewtonsThirdLawTotalForceZero) {
+  auto sim = make_lj_system(3, 0.8442, 0.06);
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(F_MASK);
+  double fx = 0, fy = 0, fz = 0;
+  for (localint i = 0; i < sim->atom.nlocal; ++i) {
+    fx += sim->atom.k_f.h_view(std::size_t(i), 0);
+    fy += sim->atom.k_f.h_view(std::size_t(i), 1);
+    fz += sim->atom.k_f.h_view(std::size_t(i), 2);
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-9);
+  EXPECT_NEAR(fy, 0.0, 1e-9);
+  EXPECT_NEAR(fz, 0.0, 1e-9);
+}
+
+TEST(LJHost, ColdFccLatticeEnergyIsNegativeAndExtensive) {
+  auto e_small = make_lj_system(2, 0.8442, 0.0);
+  auto e_large = make_lj_system(4, 0.8442, 0.0);
+  const double e2 = total_pe(*e_small) / double(e_small->atom.nlocal);
+  const double e4 = total_pe(*e_large) / double(e_large->atom.nlocal);
+  EXPECT_LT(e2, 0.0);
+  // Per-atom energy is intensive: independent of system size.
+  EXPECT_NEAR(e2, e4, 1e-9);
+}
+
+// --- All Kokkos variants must agree with the host reference --------------
+
+struct Variant {
+  const char* name;
+  bool device;
+  NeighStyle style;
+  bool newton;
+  PairParallelism par;
+  kk::ScatterMode scatter;
+};
+
+class LJVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(LJVariants, MatchesHostReference) {
+  const Variant v = GetParam();
+
+  auto ref = make_lj_system(3, 0.8442, 0.06);
+  const double e_ref = total_pe(*ref);
+  ref->atom.sync<kk::Host>(F_MASK);
+
+  auto sim = make_lj_system(3, 0.8442, 0.06, "lj/cut/kk");
+  auto* pair = v.device
+                   ? static_cast<PairLJCut*>(
+                         dynamic_cast<PairLJCutKokkos<kk::Device>*>(sim->pair.get()))
+                   : nullptr;
+  if (v.device) {
+    auto* kkpair = dynamic_cast<PairLJCutKokkos<kk::Device>*>(sim->pair.get());
+    ASSERT_NE(kkpair, nullptr);
+    kkpair->set_neighbor_mode(v.style, v.newton);
+    kkpair->set_parallelism(v.par);
+    kkpair->set_scatter_mode(v.scatter);
+    pair = kkpair;
+  } else {
+    // Re-create as host-space Kokkos style.
+    sim->pair = StyleRegistry::instance().create_pair("lj/cut/kk/host");
+    sim->pair->settings({"2.5"});
+    sim->pair->ntypes_hint = 1;
+    sim->pair->coeff({"*", "*", "1.0", "1.0"});
+    auto* kkpair = dynamic_cast<PairLJCutKokkos<kk::Host>*>(sim->pair.get());
+    ASSERT_NE(kkpair, nullptr);
+    kkpair->set_neighbor_mode(v.style, v.newton);
+    kkpair->set_parallelism(v.par);
+    kkpair->set_scatter_mode(v.scatter);
+    pair = kkpair;
+  }
+  ASSERT_NE(pair, nullptr);
+
+  const double e = total_pe(*sim);
+  EXPECT_NEAR(e, e_ref, 1e-9 * std::abs(e_ref)) << v.name;
+
+  sim->atom.sync<kk::Host>(F_MASK);
+  for (localint i = 0; i < sim->atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(sim->atom.k_f.h_view(std::size_t(i), std::size_t(d)),
+                  ref->atom.k_f.h_view(std::size_t(i), std::size_t(d)), 1e-9)
+          << v.name << " atom " << i << " dim " << d;
+
+  // Virial must agree too (pressure correctness).
+  for (int k = 0; k < 6; ++k)
+    EXPECT_NEAR(sim->pair->virial[k], ref->pair->virial[k],
+                1e-8 * std::max(1.0, std::abs(ref->pair->virial[k])))
+        << v.name << " virial " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, LJVariants,
+    ::testing::Values(
+        Variant{"dev_full_atom_atomic", true, NeighStyle::Full, false,
+                PairParallelism::Atom, kk::ScatterMode::Atomic},
+        Variant{"dev_half_newton_atom_atomic", true, NeighStyle::Half, true,
+                PairParallelism::Atom, kk::ScatterMode::Atomic},
+        Variant{"dev_half_nonewton_atom_atomic", true, NeighStyle::Half, false,
+                PairParallelism::Atom, kk::ScatterMode::Atomic},
+        Variant{"dev_full_team_atomic", true, NeighStyle::Full, false,
+                PairParallelism::Team, kk::ScatterMode::Atomic},
+        Variant{"dev_half_newton_team_atomic", true, NeighStyle::Half, true,
+                PairParallelism::Team, kk::ScatterMode::Atomic},
+        Variant{"dev_half_newton_atom_duplicated", true, NeighStyle::Half,
+                true, PairParallelism::Atom, kk::ScatterMode::Duplicated},
+        Variant{"host_half_newton_atom_seq", false, NeighStyle::Half, true,
+                PairParallelism::Atom, kk::ScatterMode::Sequential},
+        Variant{"host_full_atom_seq", false, NeighStyle::Full, false,
+                PairParallelism::Atom, kk::ScatterMode::Sequential},
+        Variant{"host_half_newton_atom_dup", false, NeighStyle::Half, true,
+                PairParallelism::Atom, kk::ScatterMode::Duplicated}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(LJKokkos, DeviceForcesMatchNumericalGradient) {
+  auto sim = make_lj_system(2, 0.8442, 0.06, "lj/cut/kk");
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(F_MASK);
+  for (localint i : {1, 8}) {
+    for (int d = 0; d < 3; ++d) {
+      const double fa = sim->atom.k_f.h_view(std::size_t(i), std::size_t(d));
+      const double fn = numerical_force(*sim, i, d);
+      EXPECT_NEAR(fa, fn, 1e-5 * std::max(1.0, std::abs(fa)));
+      sim->atom.sync<kk::Host>(F_MASK);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlk

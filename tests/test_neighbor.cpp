@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "engine/neighbor_kokkos.hpp"
+#include "test_helpers.hpp"
+
+namespace mlk {
+namespace {
+
+using testing::make_lj_system;
+
+// Canonical multiset of (i, j) entries of a list, for order-independent
+// comparison between builders.
+std::multiset<std::pair<int, int>> list_pairs(const NeighborList& list) {
+  std::multiset<std::pair<int, int>> out;
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<kk::Host>();
+  l.k_numneigh.sync<kk::Host>();
+  for (localint i = 0; i < list.inum; ++i)
+    for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c)
+      out.emplace(int(i), l.k_neighbors.h_view(std::size_t(i), std::size_t(c)));
+  return out;
+}
+
+struct NeighCase {
+  NeighStyle style;
+  bool newton;
+};
+
+class NeighborStyles : public ::testing::TestWithParam<NeighCase> {};
+
+TEST_P(NeighborStyles, BinnedMatchesBruteForce) {
+  auto sim = make_lj_system(3, 0.8442, 0.08);
+  sim->neighbor.style = GetParam().style;
+  sim->neighbor.newton = GetParam().newton;
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+
+  auto ref = brute_force_list(sim->atom, sim->domain, sim->neighbor.cutghost(),
+                              GetParam().style, GetParam().newton,
+                              sim->atom.nlocal);
+  EXPECT_EQ(list_pairs(sim->neighbor.list), list_pairs(ref));
+  EXPECT_GT(sim->neighbor.list.total_pairs(), 0);
+}
+
+TEST_P(NeighborStyles, DeviceBuildMatchesHostBuild) {
+  auto sim = make_lj_system(3, 0.8442, 0.08);
+  sim->neighbor.style = GetParam().style;
+  sim->neighbor.newton = GetParam().newton;
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+
+  NeighborKokkos nk;
+  nk.cutoff = 2.5;
+  nk.skin = sim->neighbor.skin;
+  nk.style = GetParam().style;
+  nk.newton = GetParam().newton;
+  nk.build(sim->atom, sim->domain);
+
+  EXPECT_EQ(list_pairs(sim->neighbor.list), list_pairs(nk.list));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, NeighborStyles,
+    ::testing::Values(NeighCase{NeighStyle::Full, false},
+                      NeighCase{NeighStyle::Half, false},
+                      NeighCase{NeighStyle::Half, true}),
+    [](const auto& info) {
+      if (info.param.style == NeighStyle::Full) return "Full";
+      return info.param.newton ? "HalfNewtonOn" : "HalfNewtonOff";
+    });
+
+TEST(Neighbor, FullHasTwiceTheLocalPairsOfHalf) {
+  auto sim = make_lj_system(3, 0.8442, 0.0);
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  sim->neighbor.style = NeighStyle::Full;
+  sim->neighbor.build(sim->atom, sim->domain);
+  const bigint full_pairs = sim->neighbor.list.total_pairs();
+
+  sim->neighbor.style = NeighStyle::Half;
+  sim->neighbor.newton = true;
+  sim->neighbor.build(sim->atom, sim->domain);
+  const bigint half_pairs = sim->neighbor.list.total_pairs();
+
+  // Full counts each owned-owned pair twice; owned-ghost pairs appear once
+  // per owned endpoint in full and once total in half/newton-on, so full
+  // is exactly double.
+  EXPECT_EQ(full_pairs, 2 * half_pairs);
+}
+
+TEST(Neighbor, HalfNewtonOnEachPairAppearsOnceGlobally) {
+  auto sim = make_lj_system(2, 0.8442, 0.05);
+  sim->neighbor.style = NeighStyle::Half;
+  sim->neighbor.newton = true;
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+
+  // Map ghosts back to owners by tag; every unordered owner-pair + image
+  // must appear exactly once in a half newton-on list.
+  auto& l = sim->neighbor.list;
+  auto tagv = sim->atom.k_tag.h_view;
+  auto xv = sim->atom.k_x.h_view;
+  std::set<std::tuple<tagint, tagint, long, long, long>> seen;
+  for (localint i = 0; i < l.inum; ++i) {
+    for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c) {
+      const int j = l.k_neighbors.h_view(std::size_t(i), std::size_t(c));
+      tagint ti = tagv(std::size_t(i)), tj = tagv(std::size_t(j));
+      // Identify the periodic image by the rounded displacement.
+      long ix = std::lround((xv(std::size_t(i), 0) - xv(std::size_t(j), 0)) * 1e6);
+      long iy = std::lround((xv(std::size_t(i), 1) - xv(std::size_t(j), 1)) * 1e6);
+      long iz = std::lround((xv(std::size_t(i), 2) - xv(std::size_t(j), 2)) * 1e6);
+      if (ti > tj || (ti == tj && (ix < 0 || (ix == 0 && (iy < 0 || (iy == 0 && iz < 0)))))) {
+        std::swap(ti, tj);
+        ix = -ix;
+        iy = -iy;
+        iz = -iz;
+      }
+      auto key = std::make_tuple(ti, tj, ix, iy, iz);
+      EXPECT_TRUE(seen.insert(key).second)
+          << "duplicate pair " << ti << "-" << tj;
+    }
+  }
+}
+
+TEST(Neighbor, CheckDistanceTriggersOnLargeMove) {
+  auto sim = make_lj_system(2, 0.8442, 0.0);
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+  sim->neighbor.store_build_positions(sim->atom);
+  EXPECT_FALSE(sim->neighbor.check_distance(sim->atom));
+
+  auto x = sim->atom.k_x.h_view;
+  x(0, 0) += 0.6 * sim->neighbor.skin;  // > skin/2
+  EXPECT_TRUE(sim->neighbor.check_distance(sim->atom));
+}
+
+TEST(Neighbor, TwoDTableRowsAreBounded) {
+  auto sim = make_lj_system(3, 0.8442, 0.05);
+  sim->neighbor.style = NeighStyle::Full;
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+  auto& l = sim->neighbor.list;
+  EXPECT_EQ(l.k_neighbors.extent(0), std::size_t(l.inum));
+  EXPECT_EQ(l.k_neighbors.extent(1), std::size_t(l.maxneighs));
+  for (localint i = 0; i < l.inum; ++i)
+    EXPECT_LE(l.k_numneigh.h_view(std::size_t(i)), l.maxneighs);
+}
+
+TEST(Neighbor, AvgNeighborsMatchesDensityEstimate) {
+  // Ideal-gas estimate: full list row = rho * 4/3 pi rc^3 (rc = cut+skin).
+  auto sim = make_lj_system(4, 0.8442, 0.02);
+  sim->neighbor.style = NeighStyle::Full;
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  sim->neighbor.build(sim->atom, sim->domain);
+  const double rc = sim->neighbor.cutghost();
+  constexpr double kPi = 3.14159265358979323846;
+  const double expect = 0.8442 * 4.0 / 3.0 * kPi * rc * rc * rc;
+  EXPECT_NEAR(sim->neighbor.list.avg_neighbors(), expect, expect * 0.15);
+}
+
+}  // namespace
+}  // namespace mlk

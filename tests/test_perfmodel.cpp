@@ -1,0 +1,184 @@
+// Performance-model tests: architecture database integrity, GPU model
+// monotonicity/limiter properties, and the strong-scaling network model.
+#include <gtest/gtest.h>
+
+#include "perfmodel/archdb.hpp"
+#include "perfmodel/gpumodel.hpp"
+#include "perfmodel/network.hpp"
+#include "util/error.hpp"
+
+namespace mlk::perf {
+namespace {
+
+TEST(ArchDB, Table1RowsPresent) {
+  for (const char* name :
+       {"V100", "A100", "H100", "GH200", "MI250X", "MI300A", "PVC", "CPU"}) {
+    const GpuArch& a = arch(name);
+    EXPECT_GT(a.hbm_bw, 0.0) << name;
+    EXPECT_GT(a.fp64, 0.0) << name;
+    EXPECT_GT(a.l1_total_kb(), 0.0) << name;
+  }
+  EXPECT_THROW(arch("TPU"), Error);
+}
+
+TEST(ArchDB, Table1ValuesMatchPaper) {
+  EXPECT_DOUBLE_EQ(arch("V100").hbm_bw, 0.9e12);
+  EXPECT_DOUBLE_EQ(arch("H100").fp64, 34e12);
+  EXPECT_DOUBLE_EQ(arch("GH200").hbm_bw, 4.0e12);
+  EXPECT_DOUBLE_EQ(arch("MI300A").hbm_bw, 5.3e12);
+  EXPECT_DOUBLE_EQ(arch("MI300A").fp64, 61e12);
+  EXPECT_DOUBLE_EQ(arch("PVC").hbm_capacity, 64e9);
+  EXPECT_DOUBLE_EQ(arch("H100").l1_total_kb(), 256.0);
+  EXPECT_DOUBLE_EQ(arch("MI250X").l1_kb, 16.0);
+  EXPECT_DOUBLE_EQ(arch("MI250X").shared_kb, 64.0);
+  // Generational ordering.
+  EXPECT_LT(arch("V100").hbm_bw, arch("A100").hbm_bw);
+  EXPECT_LT(arch("A100").hbm_bw, arch("H100").hbm_bw);
+}
+
+TEST(ArchDB, MachinesMatchPaperConfigs) {
+  EXPECT_EQ(machine("Frontier").gpus_per_node, 8);   // 4x MI250X = 8 GCDs
+  EXPECT_EQ(machine("Aurora").gpus_per_node, 12);    // 6x PVC = 12 stacks
+  EXPECT_EQ(machine("ElCapitan").gpus_per_node, 4);
+  EXPECT_EQ(machine("Alps").gpus_per_node, 4);
+  EXPECT_EQ(machine("Eos").gpus_per_node, 4);        // intentionally 4 of 8
+  EXPECT_EQ(machine("Frontier").max_nodes, 8192);
+  EXPECT_THROW(machine("Summit"), Error);
+}
+
+KernelWorkload simple_kernel() {
+  KernelWorkload w;
+  w.name = "k";
+  w.flops = 1e9;
+  w.unique_bytes = 1e8;
+  w.parallel_items = 1e6;
+  return w;
+}
+
+TEST(GpuModel, TimeIsPositiveAndComposable) {
+  GpuModel g(arch("H100"));
+  const auto t = g.time(simple_kernel());
+  EXPECT_GT(t.seconds, 0.0);
+  std::vector<KernelWorkload> two = {simple_kernel(), simple_kernel()};
+  EXPECT_NEAR(g.total_seconds(two), 2.0 * t.seconds, 1e-12);
+}
+
+TEST(GpuModel, RooflineLimiters) {
+  GpuModel g(arch("H100"));
+  KernelWorkload flop = simple_kernel();
+  flop.flops = 1e13;  // dominated by FP64
+  EXPECT_STREQ(g.time(flop).limiter, "fp64");
+
+  KernelWorkload mem = simple_kernel();
+  mem.unique_bytes = 1e11;
+  EXPECT_STREQ(g.time(mem).limiter, "mem");
+
+  KernelWorkload atom = simple_kernel();
+  atom.atomics = 1e12;
+  EXPECT_STREQ(g.time(atom).limiter, "atomic");
+
+  KernelWorkload tiny = simple_kernel();
+  tiny.flops = 1.0;
+  tiny.unique_bytes = 8.0;
+  EXPECT_STREQ(g.time(tiny).limiter, "launch");
+}
+
+TEST(GpuModel, MoreParallelismNeverSlower) {
+  GpuModel g(arch("H100"));
+  double prev = 1e300;
+  for (double p : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    KernelWorkload w = simple_kernel();
+    w.parallel_items = p;
+    const double t = g.time(w).seconds;
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GpuModel, CacheResidencySpeedsUpReuse) {
+  GpuModel g(arch("H100"));
+  KernelWorkload small = simple_kernel();
+  small.reuse_bytes = 1e10;
+  small.working_set = 1e6;  // fits in L1
+  KernelWorkload big = small;
+  big.working_set = 1e12;  // spills to HBM
+  EXPECT_LT(g.time(small).seconds, g.time(big).seconds);
+}
+
+TEST(GpuModel, CarveoutTradesL1ForShared) {
+  // An L1-hungry kernel slows down as carveout grows; a shared-hungry
+  // kernel speeds up (the Fig. 3 mechanism).
+  KernelWorkload l1k = simple_kernel();
+  l1k.reuse_bytes = 1e10;
+  l1k.working_set = 30e6;
+  KernelWorkload shk = simple_kernel();
+  shk.uses_shared = true;
+  shk.shared_per_sm = 200e3;
+
+  GpuModel lo(arch("H100"));
+  lo.carveout = 0.1;
+  GpuModel hi(arch("H100"));
+  hi.carveout = 0.9;
+  EXPECT_LT(lo.time(l1k).seconds, hi.time(l1k).seconds);
+  EXPECT_GT(lo.time(shk).seconds, hi.time(shk).seconds);
+}
+
+TEST(GpuModel, CarveoutIrrelevantOnFixedCacheArchs) {
+  KernelWorkload w = simple_kernel();
+  w.reuse_bytes = 1e10;
+  w.working_set = 5e6;
+  GpuModel lo(arch("MI250X"));
+  lo.carveout = 0.1;
+  GpuModel hi(arch("MI250X"));
+  hi.carveout = 0.9;
+  EXPECT_DOUBLE_EQ(lo.time(w).seconds, hi.time(w).seconds);
+}
+
+TEST(NetworkModel, StrongScalingIncreasesThenSaturates) {
+  MachineModel m(machine("Frontier"));
+  auto workloads = [](bigint n) {
+    KernelWorkload w;
+    w.name = "force";
+    w.flops = double(n) * 1e4;
+    w.unique_bytes = double(n) * 200.0;
+    w.parallel_items = double(n);
+    return std::vector<KernelWorkload>{w};
+  };
+  double prev = 0.0;
+  for (int nodes : {8, 32, 128, 512}) {
+    const auto pt = m.step_time(16000000, nodes, workloads, 0.8, 2.8);
+    EXPECT_GT(pt.steps_per_second, prev) << nodes;
+    prev = pt.steps_per_second;
+  }
+  // Deep strong scaling: gains flatten (comm + host overhead floor).
+  const auto a = m.step_time(16000000, 2048, workloads, 0.8, 2.8);
+  const auto b = m.step_time(16000000, 8192, workloads, 0.8, 2.8);
+  EXPECT_LT(b.steps_per_second / a.steps_per_second, 1.5);
+}
+
+TEST(NetworkModel, ExtraCommRoundsSlowTheStep) {
+  MachineModel m(machine("Alps"));
+  auto workloads = [](bigint n) {
+    KernelWorkload w;
+    w.flops = double(n) * 1e5;
+    w.parallel_items = double(n);
+    return std::vector<KernelWorkload>{w};
+  };
+  const auto plain = m.step_time(1000000, 64, workloads, 0.05, 10.0);
+  const auto qeqish =
+      m.step_time(1000000, 64, workloads, 0.05, 10.0, 48.0, 30.0, 61.0);
+  EXPECT_GT(plain.steps_per_second, qeqish.steps_per_second);
+}
+
+TEST(NetworkModel, HaloShrinksWithSubdomainSurface) {
+  MachineModel m(machine("Alps"));
+  auto workloads = [](bigint) { return std::vector<KernelWorkload>{}; };
+  const auto big = m.step_time(64000000, 4, workloads, 0.8, 2.8);
+  const auto small = m.step_time(64000000, 256, workloads, 0.8, 2.8);
+  // Per-GPU comm time falls as sub-domains shrink relative to... the ratio
+  // of ghosts to locals grows, but absolute halo bytes per GPU drop.
+  EXPECT_GT(big.t_comm, small.t_comm);
+}
+
+}  // namespace
+}  // namespace mlk::perf

@@ -1,0 +1,269 @@
+// ReaxFF-lite tests: bond-order math, pre-processing equivalence, quad
+// survival statistics, QEq correctness, force-vs-gradient, conservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reaxff/pair_reaxff_lite.hpp"
+#include "test_helpers.hpp"
+
+namespace mlk {
+namespace {
+
+using reaxff::ReaxParams;
+using testing::numerical_force;
+using testing::total_pe;
+
+std::unique_ptr<Simulation> make_hns_system(const std::string& style,
+                                            int cells = 2, double jitter = 0.03) {
+  init_all();
+  auto sim = std::make_unique<Simulation>();
+  Input in(*sim);
+  in.line("units real");
+  in.line("lattice hns_like 5.2");
+  in.line("create_atoms " + std::to_string(cells) + " " +
+          std::to_string(cells) + " " + std::to_string(cells) + " jitter " +
+          std::to_string(jitter) + " 4411");
+  in.line("mass 1 12.0");
+  in.line("mass 2 16.0");
+  in.line("pair_style " + style);
+  in.line("pair_coeff * * hns");
+  sim->thermo.print = false;
+  return sim;
+}
+
+TEST(BondOrder, DecaysMonotonically) {
+  ReaxParams p;
+  EXPECT_NEAR(reaxff::bond_order(p, 1e-6), 1.0, 1e-6);
+  double prev = 2.0;
+  for (double r = 0.5; r < 4.0; r += 0.25) {
+    const double bo = reaxff::bond_order(p, r);
+    EXPECT_LT(bo, prev);
+    EXPECT_GT(bo, 0.0);
+    prev = bo;
+  }
+}
+
+TEST(BondOrder, DerivativeMatchesNumerics) {
+  ReaxParams p;
+  for (double r : {0.9, 1.4, 2.2, 2.9}) {
+    const double h = 1e-7;
+    const double num =
+        (reaxff::bond_order(p, r + h) - reaxff::bond_order(p, r - h)) / (2 * h);
+    EXPECT_NEAR(reaxff::dbond_order(p, r), num, 1e-6 * std::abs(num) + 1e-10);
+  }
+}
+
+TEST(Taper, SmoothAtEnds) {
+  EXPECT_DOUBLE_EQ(reaxff::taper7(0.0, 8.0), 1.0);
+  EXPECT_NEAR(reaxff::taper7(8.0, 8.0), 0.0, 1e-14);
+  EXPECT_NEAR(reaxff::dtaper7(7.999999, 8.0), 0.0, 1e-4);
+  for (double r : {1.0, 3.0, 5.0, 7.0}) {
+    const double h = 1e-6;
+    const double num =
+        (reaxff::taper7(r + h, 8.0) - reaxff::taper7(r - h, 8.0)) / (2 * h);
+    EXPECT_NEAR(reaxff::dtaper7(r, 8.0), num, 1e-7);
+  }
+}
+
+TEST(ShieldedCoulomb, FiniteAtZeroAndDecays) {
+  const double g = 0.9;
+  // Shielding keeps the kernel finite at r -> 0 (no Coulomb catastrophe).
+  EXPECT_NEAR(reaxff::shielded_coulomb(0.0, g), g, 1e-12);
+  EXPECT_LT(reaxff::shielded_coulomb(5.0, g), reaxff::shielded_coulomb(1.0, g));
+  for (double r : {0.5, 1.5, 4.0}) {
+    const double h = 1e-6;
+    const double num = (reaxff::shielded_coulomb(r + h, g) -
+                        reaxff::shielded_coulomb(r - h, g)) /
+                       (2 * h);
+    EXPECT_NEAR(reaxff::dshielded_coulomb(r, g), num, 1e-8);
+  }
+}
+
+TEST(ReaxFF, BondListIsSymmetricOnLocalPairs) {
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim->pair.get());
+  ASSERT_NE(pair, nullptr);
+  const auto& b = pair->bonds();
+  ASSERT_GT(b.total_bonds(), 0);
+  // If j is a local bond partner of i, i must be a bond partner of j.
+  for (localint i = 0; i < sim->atom.nlocal; ++i) {
+    for (int s = 0; s < b.nbonds(std::size_t(i)); ++s) {
+      const int j = b.j(std::size_t(i), std::size_t(s));
+      if (j >= sim->atom.nlocal) continue;
+      bool found = false;
+      for (int s2 = 0; s2 < b.nbonds(std::size_t(j)); ++s2)
+        if (b.j(std::size_t(j), std::size_t(s2)) == i) found = true;
+      EXPECT_TRUE(found) << "bond " << i << "->" << j << " not mirrored";
+    }
+  }
+}
+
+TEST(ReaxFF, QuadSurvivalIsSmall) {
+  // §4.2.1: "fewer than 5% of possible quads satisfy each constraint".
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim->pair.get());
+  const auto& q = pair->quads();
+  ASSERT_GT(q.candidates, 0);
+  ASSERT_GT(q.count, 0) << "no torsions at all: parameterization too sparse";
+  EXPECT_LT(q.survival_fraction(), 0.30)
+      << "survival " << q.survival_fraction();
+}
+
+TEST(ReaxFF, PreprocessedMatchesDirect) {
+  auto a = make_hns_system("reaxff-lite");
+  auto* pa = dynamic_cast<PairReaxFFLite<kk::Host>*>(a->pair.get());
+  pa->use_preprocessing = true;
+  const double e_pre = total_pe(*a);
+  a->atom.sync<kk::Host>(F_MASK);
+
+  auto b = make_hns_system("reaxff-lite");
+  auto* pb = dynamic_cast<PairReaxFFLite<kk::Host>*>(b->pair.get());
+  pb->use_preprocessing = false;
+  const double e_dir = total_pe(*b);
+  b->atom.sync<kk::Host>(F_MASK);
+
+  EXPECT_NEAR(e_pre, e_dir, 1e-9 * std::abs(e_dir));
+  for (localint i = 0; i < a->atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(a->atom.k_f.h_view(std::size_t(i), std::size_t(d)),
+                  b->atom.k_f.h_view(std::size_t(i), std::size_t(d)), 1e-9);
+}
+
+TEST(ReaxFF, HierarchicalMatrixBuildMatchesFlat) {
+  auto a = make_hns_system("reaxff-lite");
+  auto* pa = dynamic_cast<PairReaxFFLite<kk::Host>*>(a->pair.get());
+  pa->qeq_build = reaxff::MatrixBuildMode::Flat;
+  const double e_flat = total_pe(*a);
+
+  auto b = make_hns_system("reaxff-lite");
+  auto* pb = dynamic_cast<PairReaxFFLite<kk::Host>*>(b->pair.get());
+  pb->qeq_build = reaxff::MatrixBuildMode::Hierarchical;
+  const double e_hier = total_pe(*b);
+
+  EXPECT_NEAR(e_flat, e_hier, 1e-10 * std::abs(e_flat));
+  // Identical sparsity too.
+  EXPECT_EQ(pa->qeq().matrix().total_nonzeros(),
+            pb->qeq().matrix().total_nonzeros());
+}
+
+TEST(ReaxFF, FusedAndSeparateSolvesAgree) {
+  auto a = make_hns_system("reaxff-lite");
+  dynamic_cast<PairReaxFFLite<kk::Host>*>(a->pair.get())->qeq_fused = true;
+  const double e_fused = total_pe(*a);
+  auto b = make_hns_system("reaxff-lite");
+  dynamic_cast<PairReaxFFLite<kk::Host>*>(b->pair.get())->qeq_fused = false;
+  const double e_sep = total_pe(*b);
+  EXPECT_NEAR(e_fused, e_sep, 1e-7 * std::abs(e_sep));
+}
+
+TEST(ReaxFF, ChargesAreNeutralAndNontrivial) {
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(Q_MASK);
+  double qsum = 0.0, qabs = 0.0;
+  for (localint i = 0; i < sim->atom.nlocal; ++i) {
+    qsum += sim->atom.k_q.h_view(std::size_t(i));
+    qabs += std::abs(sim->atom.k_q.h_view(std::size_t(i)));
+  }
+  EXPECT_NEAR(qsum, 0.0, 1e-8);                    // charge conservation
+  EXPECT_GT(qabs / sim->atom.nlocal, 1e-3);        // charge transfer happened
+  // Two species: type 1 (low chi) positive, type 2 (high chi) negative.
+  double q1 = 0.0, q2 = 0.0;
+  for (localint i = 0; i < sim->atom.nlocal; ++i) {
+    if (sim->atom.k_type.h_view(std::size_t(i)) == 1)
+      q1 += sim->atom.k_q.h_view(std::size_t(i));
+    else
+      q2 += sim->atom.k_q.h_view(std::size_t(i));
+  }
+  EXPECT_GT(q1, 0.0);
+  EXPECT_LT(q2, 0.0);
+}
+
+TEST(ReaxFF, QEqMinimizesElectrostaticEnergy) {
+  // Perturbing the QEq solution must increase the (constrained) energy.
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim->pair.get());
+  const double e0 = pair->qeq().energy(sim->atom);
+  auto q = sim->atom.k_q.h_view;
+  // Neutral perturbation: move charge between two atoms.
+  q(0) += 0.05;
+  q(1) -= 0.05;
+  sim->atom.k_q.modify<kk::Host>();
+  sim->comm.forward_charges(sim->atom);
+  const double e1 = pair->qeq().energy(sim->atom);
+  EXPECT_GT(e1, e0);
+}
+
+TEST(ReaxFF, ForcesMatchNumericalGradient) {
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(F_MASK);
+  for (localint i : {0, 9}) {
+    for (int d = 0; d < 3; ++d) {
+      const double fa = sim->atom.k_f.h_view(std::size_t(i), std::size_t(d));
+      const double fn = numerical_force(*sim, i, d, 1e-5);
+      EXPECT_NEAR(fa, fn, 5e-3 * std::max(1.0, std::abs(fa)))
+          << "atom " << i << " dim " << d;
+      sim->atom.sync<kk::Host>(F_MASK);
+    }
+  }
+}
+
+TEST(ReaxFF, TotalForceIsZero) {
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  sim->atom.sync<kk::Host>(F_MASK);
+  double ftot[3] = {0, 0, 0};
+  for (localint i = 0; i < sim->atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      ftot[d] += sim->atom.k_f.h_view(std::size_t(i), std::size_t(d));
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(ftot[d], 0.0, 1e-7);
+}
+
+TEST(ReaxFF, DeviceMatchesHost) {
+  auto ref = make_hns_system("reaxff-lite");
+  const double e_ref = total_pe(*ref);
+  ref->atom.sync<kk::Host>(F_MASK);
+
+  auto sim = make_hns_system("reaxff-lite/kk");
+  const double e = total_pe(*sim);
+  EXPECT_NEAR(e, e_ref, 1e-8 * std::abs(e_ref));
+  sim->atom.sync<kk::Host>(F_MASK);
+  for (localint i = 0; i < sim->atom.nlocal; ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(sim->atom.k_f.h_view(std::size_t(i), std::size_t(d)),
+                  ref->atom.k_f.h_view(std::size_t(i), std::size_t(d)), 1e-6);
+}
+
+TEST(ReaxFF, EnergyConservedInNVE) {
+  auto sim = make_hns_system("reaxff-lite", 2, 0.02);
+  Input in(*sim);
+  in.line("velocity all create 300.0 7123");
+  in.line("timestep 0.2");
+  in.line("fix 1 all nve");
+  in.line("thermo 5");
+  in.line("run 25");
+  const auto& rows = sim->thermo.rows();
+  const double e0 = rows.front().etotal;
+  for (const auto& r : rows)
+    EXPECT_NEAR(r.etotal, e0, 2e-3 * std::max(1.0, std::abs(e0)))
+        << "step " << r.step;
+}
+
+TEST(ReaxFF, EnergyBreakdownIsRecorded) {
+  auto sim = make_hns_system("reaxff-lite");
+  total_pe(*sim);
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim->pair.get());
+  EXPECT_LT(pair->last_ebond, 0.0);   // cohesive bonds
+  EXPECT_GE(pair->last_eangle, 0.0);  // harmonic-like penalty
+  EXPECT_GE(pair->last_etors, 0.0);   // 1 + cos(phi) >= 0
+  EXPECT_NE(pair->last_ecoul, 0.0);
+  EXPECT_GT(pair->qeq().last_iterations(), 1);
+}
+
+}  // namespace
+}  // namespace mlk

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/simmpi.hpp"
+
+namespace {
+
+TEST(SimMPI, RankIdentity) {
+  simmpi::World world(4);
+  std::vector<int> seen(4, -1);
+  world.run([&](simmpi::Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    seen[std::size_t(comm.rank())] = comm.rank();
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[std::size_t(r)], r);
+}
+
+TEST(SimMPI, PointToPoint) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<double>{1.5, 2.5});
+      auto back = comm.recv<double>(1, 8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 4.0);
+    } else {
+      auto in = comm.recv<double>(0, 7);
+      comm.send(0, 8, std::vector<double>{in[0] + in[1]});
+    }
+  });
+}
+
+TEST(SimMPI, TagMatchingOutOfOrder) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<int>{111});
+      comm.send(1, 2, std::vector<int>{222});
+    } else {
+      // Receive in reverse tag order; matching must be by tag, not FIFO.
+      auto b = comm.recv<int>(0, 2);
+      auto a = comm.recv<int>(0, 1);
+      EXPECT_EQ(a[0], 111);
+      EXPECT_EQ(b[0], 222);
+    }
+  });
+}
+
+TEST(SimMPI, SendRecvRing) {
+  const int P = 5;
+  simmpi::World world(P);
+  world.run([&](simmpi::Comm& comm) {
+    const int next = (comm.rank() + 1) % P;
+    const int prev = (comm.rank() + P - 1) % P;
+    auto in = comm.sendrecv(next, prev, 3, std::vector<int>{comm.rank()});
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(in[0], prev);
+  });
+}
+
+TEST(SimMPI, SendToSelf) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) {
+    comm.send(comm.rank(), 9, std::vector<int>{comm.rank() * 10});
+    auto in = comm.recv<int>(comm.rank(), 9);
+    EXPECT_EQ(in[0], comm.rank() * 10);
+  });
+}
+
+TEST(SimMPI, AllreduceSumDouble) {
+  simmpi::World world(6);
+  world.run([](simmpi::Comm& comm) {
+    const double r = comm.allreduce_sum(double(comm.rank()) + 0.5);
+    EXPECT_DOUBLE_EQ(r, 15.0 + 3.0);
+  });
+}
+
+TEST(SimMPI, AllreduceRepeatedUsesAreIndependent) {
+  simmpi::World world(3);
+  world.run([](simmpi::Comm& comm) {
+    for (int iter = 1; iter <= 10; ++iter) {
+      const mlk::bigint r = comm.allreduce_sum(mlk::bigint(iter));
+      EXPECT_EQ(r, mlk::bigint(3 * iter));
+    }
+  });
+}
+
+TEST(SimMPI, AllreduceMaxMin) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(double(comm.rank())), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(double(comm.rank())), 0.0);
+  });
+}
+
+TEST(SimMPI, AllreduceVector) {
+  simmpi::World world(3);
+  world.run([](simmpi::Comm& comm) {
+    std::vector<double> v = {double(comm.rank()), 1.0};
+    auto r = comm.allreduce_sum(v);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 3.0);
+  });
+}
+
+TEST(SimMPI, BigintAllreduceBeyond32Bit) {
+  // Appendix B: global atom counts exceed 2^31 at scale.
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    const mlk::bigint each = 700000000;  // 0.7B per rank
+    EXPECT_EQ(comm.allreduce_sum(each), mlk::bigint(2800000000));
+  });
+}
+
+TEST(SimMPI, ExceptionInRankPropagates) {
+  simmpi::World world(2);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 if (comm.rank() == 1) throw mlk::Error("rank 1 failed");
+               }),
+               mlk::Error);
+}
+
+TEST(SimMPI, BarrierOrdersPhases) {
+  simmpi::World world(4);
+  std::vector<int> stage(4, 0);
+  world.run([&](simmpi::Comm& comm) {
+    stage[std::size_t(comm.rank())] = 1;
+    comm.barrier();
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(stage[std::size_t(r)], 1);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Property tests on the SNAP mathematical core: Clebsch-Gordan identities,
+// Wigner-U unitarity, and rotational invariance of the bispectrum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snap/sna.hpp"
+#include "snap/sna_recursion.hpp"
+
+namespace mlk::snap {
+namespace {
+
+TEST(Factorial, SmallValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(ClebschGordan, TrivialCoupling) {
+  // j1=0 coupling: C(0 0 j m | j m) = 1.
+  EXPECT_NEAR(clebsch_gordan(0, 0, 4, 2, 4, 2), 1.0, 1e-12);
+  EXPECT_NEAR(clebsch_gordan(2, 2, 0, 0, 2, 2), 1.0, 1e-12);
+}
+
+TEST(ClebschGordan, KnownHalfIntegerValues) {
+  // Two spin-1/2 -> triplet/singlet: C(1/2 1/2 1/2 -1/2 | 1 0) = 1/sqrt(2),
+  // C(1/2 1/2 1/2 -1/2 | 0 0) = 1/sqrt(2) (doubled args: j=1 -> 1 etc).
+  EXPECT_NEAR(clebsch_gordan(1, 1, 1, -1, 2, 0), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(clebsch_gordan(1, 1, 1, -1, 0, 0), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(clebsch_gordan(1, -1, 1, 1, 0, 0), -1.0 / std::sqrt(2.0), 1e-12);
+  // Stretched state: C(j1 j1 j2 j2 | j1+j2 j1+j2) = 1.
+  EXPECT_NEAR(clebsch_gordan(3, 3, 2, 2, 5, 5), 1.0, 1e-12);
+}
+
+TEST(ClebschGordan, SelectionRules) {
+  EXPECT_DOUBLE_EQ(clebsch_gordan(2, 0, 2, 0, 5, 0), 0.0);  // parity
+  EXPECT_DOUBLE_EQ(clebsch_gordan(2, 2, 2, 2, 2, 0), 0.0);  // m mismatch
+  EXPECT_DOUBLE_EQ(clebsch_gordan(2, 0, 2, 0, 6, 0), 0.0);  // triangle
+}
+
+TEST(ClebschGordan, OrthogonalityInJ) {
+  // sum_{m1,m2} C(j1 m1 j2 m2|j m) C(j1 m1 j2 m2|j' m) = delta_jj'.
+  const int j1 = 4, j2 = 2;  // doubled: j1=2, j2=1 physically
+  for (int j = j1 - j2; j <= j1 + j2; j += 2)
+    for (int jp = j1 - j2; jp <= j1 + j2; jp += 2) {
+      const int m = 0;
+      double sum = 0.0;
+      for (int m1 = -j1; m1 <= j1; m1 += 2) {
+        const int m2 = m - m1;
+        if (std::abs(m2) > j2) continue;
+        sum += clebsch_gordan(j1, m1, j2, m2, j, m) *
+               clebsch_gordan(j1, m1, j2, m2, jp, m);
+      }
+      EXPECT_NEAR(sum, j == jp ? 1.0 : 0.0, 1e-12)
+          << "j=" << j << " j'=" << jp;
+    }
+}
+
+TEST(SnaIndexes, CountsMatchClosedForms) {
+  SnaIndexes idx;
+  idx.build(6);
+  // idxu_max = sum_{j=0}^{2J} (j+1)^2.
+  int expect = 0;
+  for (int j = 0; j <= 6; ++j) expect += (j + 1) * (j + 1);
+  EXPECT_EQ(idx.idxu_max, expect);
+  // Known SNAP coefficient counts: twojmax=6 -> 30 bispectrum components.
+  EXPECT_EQ(idx.idxb_max, 30);
+  SnaIndexes idx8;
+  idx8.build(8);
+  EXPECT_EQ(idx8.idxb_max, 55);  // twojmax=8 (2Jmax=8, Jmax=4)
+}
+
+TEST(WignerU, SingleNeighborRowsAreUnitary) {
+  // For one neighbor, each row of u_j is a row of a unitary matrix:
+  // sum_ma |u(j,ma,mb)|^2 == 1.
+  SnaParams p;
+  p.twojmax = 6;
+  p.rcut = 3.0;
+  p.switch_flag = false;  // isolate the raw matrices
+  SNA sna(p);
+  const double dr[3] = {0.7, -0.4, 1.1};
+  const double r = std::sqrt(dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]);
+  sna.zero_ui();
+  sna.add_neighbor_ui(dr, r);
+  // utot = identity (self) + u(neighbor); subtract the self part.
+  const auto& idx = sna.idx();
+  for (int j = 0; j <= p.twojmax; ++j) {
+    const int base = idx.idxu_block[std::size_t(j)];
+    for (int mb = 0; mb <= j; ++mb) {
+      double norm = 0.0;
+      for (int ma = 0; ma <= j; ++ma) {
+        double re = sna.utot_r()[std::size_t(base + mb * (j + 1) + ma)];
+        const double im = sna.utot_i()[std::size_t(base + mb * (j + 1) + ma)];
+        if (ma == mb) re -= p.wself;
+        norm += re * re + im * im;
+      }
+      EXPECT_NEAR(norm, 1.0, 1e-10) << "j=" << j << " mb=" << mb;
+    }
+  }
+}
+
+void rotate_z(double angle, double* v) {
+  const double c = std::cos(angle), s = std::sin(angle);
+  const double x = v[0], y = v[1];
+  v[0] = c * x - s * y;
+  v[1] = s * x + c * y;
+}
+
+void rotate_x(double angle, double* v) {
+  const double c = std::cos(angle), s = std::sin(angle);
+  const double y = v[1], z = v[2];
+  v[1] = c * y - s * z;
+  v[2] = s * y + c * z;
+}
+
+TEST(Bispectrum, RotationallyInvariant) {
+  // The headline property of SNAP: B is invariant under any rigid rotation
+  // of the neighborhood (hyperspherical harmonics transform unitarily and
+  // the triple products are scalars).
+  SnaParams p;
+  p.twojmax = 6;
+  p.rcut = 3.0;
+  SNA sna(p);
+
+  double neigh[5][3] = {{0.9, 0.1, -0.3},
+                        {-0.5, 1.2, 0.4},
+                        {0.2, -0.8, 1.0},
+                        {-1.1, -0.6, -0.7},
+                        {1.3, 0.9, 0.2}};
+
+  auto bispectrum = [&](double pts[5][3]) {
+    sna.zero_ui();
+    for (int k = 0; k < 5; ++k) {
+      const double r = std::sqrt(pts[k][0] * pts[k][0] +
+                                 pts[k][1] * pts[k][1] + pts[k][2] * pts[k][2]);
+      sna.add_neighbor_ui(pts[k], r);
+    }
+    sna.compute_zi();
+    sna.compute_bi();
+    return sna.blist();
+  };
+
+  const auto b_ref = bispectrum(neigh);
+  ASSERT_EQ(int(b_ref.size()), sna.ncoeff());
+
+  double rotated[5][3];
+  for (int k = 0; k < 5; ++k)
+    for (int d = 0; d < 3; ++d) rotated[k][d] = neigh[k][d];
+  for (int k = 0; k < 5; ++k) {
+    rotate_z(0.813, rotated[k]);
+    rotate_x(-1.237, rotated[k]);
+    rotate_z(2.02, rotated[k]);
+  }
+  const auto b_rot = bispectrum(rotated);
+
+  double bnorm = 0.0;
+  for (double b : b_ref) bnorm = std::max(bnorm, std::abs(b));
+  ASSERT_GT(bnorm, 1e-6);  // non-degenerate neighborhood
+  for (int c = 0; c < sna.ncoeff(); ++c)
+    EXPECT_NEAR(b_rot[std::size_t(c)], b_ref[std::size_t(c)], 1e-9 * bnorm)
+        << "component " << c;
+}
+
+TEST(Bispectrum, PermutationInvariant) {
+  SnaParams p;
+  p.twojmax = 4;
+  p.rcut = 3.0;
+  SNA sna(p);
+  double a[3] = {0.9, 0.1, -0.3}, b[3] = {-0.5, 1.2, 0.4};
+  const double ra = std::sqrt(0.9 * 0.9 + 0.1 * 0.1 + 0.3 * 0.3);
+  const double rb = std::sqrt(0.5 * 0.5 + 1.2 * 1.2 + 0.4 * 0.4);
+
+  sna.zero_ui();
+  sna.add_neighbor_ui(a, ra);
+  sna.add_neighbor_ui(b, rb);
+  sna.compute_zi();
+  sna.compute_bi();
+  auto b12 = sna.blist();
+
+  sna.zero_ui();
+  sna.add_neighbor_ui(b, rb);
+  sna.add_neighbor_ui(a, ra);
+  sna.compute_zi();
+  sna.compute_bi();
+  auto b21 = sna.blist();
+
+  for (int c = 0; c < sna.ncoeff(); ++c)
+    EXPECT_NEAR(b12[std::size_t(c)], b21[std::size_t(c)], 1e-12);
+}
+
+TEST(Switching, SmoothlyDecaysToZeroAtCutoff) {
+  SnaParams p;
+  p.twojmax = 2;
+  p.rcut = 2.0;
+  SNA sna(p);
+  EXPECT_DOUBLE_EQ(sna.sfac(0.0), 1.0);
+  EXPECT_NEAR(sna.sfac(2.0), 0.0, 1e-15);
+  EXPECT_NEAR(sna.sfac(1.0), 0.5, 1e-15);
+  // dsfac is the derivative of sfac (central difference check).
+  for (double r : {0.3, 0.9, 1.5, 1.9}) {
+    const double h = 1e-6;
+    const double num = (sna.sfac(r + h) - sna.sfac(r - h)) / (2 * h);
+    EXPECT_NEAR(sna.dsfac(r), num, 1e-8);
+  }
+}
+
+TEST(SyntheticBeta, DeterministicAndDecaying) {
+  auto b1 = synthetic_beta(30, 7771);
+  auto b2 = synthetic_beta(30, 7771);
+  auto b3 = synthetic_beta(30, 1234);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(b1, b3);
+  EXPECT_LT(std::abs(b1[29]), 0.1);
+}
+
+}  // namespace
+}  // namespace mlk::snap

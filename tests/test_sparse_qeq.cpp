@@ -1,0 +1,184 @@
+// Unit tests for the over-allocated CSR container and the QEq solver
+// against dense linear-algebra references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reaxff/pair_reaxff_lite.hpp"
+#include "reaxff/sparse.hpp"
+#include "test_helpers.hpp"
+
+namespace mlk::reaxff {
+namespace {
+
+/// Build a small over-allocated CSR from a dense matrix (zeros padded).
+OACSR<kk::Host> from_dense(const std::vector<std::vector<double>>& a) {
+  const localint n = localint(a.size());
+  OACSR<kk::Host> m;
+  m.allocate_rows(n);
+  const int max_row = int(a.size());
+  m.capacity = bigint(n) * max_row;
+  m.col = kk::View1D<int, kk::Host>("col", std::size_t(m.capacity));
+  m.val = kk::View1D<double, kk::Host>("val", std::size_t(m.capacity));
+  for (localint i = 0; i <= n; ++i)
+    if (i <= n) m.row_offset(std::size_t(i)) = bigint(i) * max_row;
+  for (localint i = 0; i < n; ++i) {
+    int c = 0;
+    for (localint j = 0; j < n; ++j) {
+      if (a[std::size_t(i)][std::size_t(j)] == 0.0) continue;
+      m.col(std::size_t(m.row_offset(std::size_t(i))) + std::size_t(c)) = j;
+      m.val(std::size_t(m.row_offset(std::size_t(i))) + std::size_t(c)) =
+          a[std::size_t(i)][std::size_t(j)];
+      ++c;
+    }
+    m.row_count(std::size_t(i)) = c;  // over-allocated: c < max_row is fine
+  }
+  return m;
+}
+
+TEST(OACSR, SpmvMatchesDense) {
+  const std::vector<std::vector<double>> a = {
+      {0, 2, 0, 1}, {2, 0, 3, 0}, {0, 3, 0, 0}, {1, 0, 0, 0}};
+  auto m = from_dense(a);
+  EXPECT_EQ(m.total_nonzeros(), 6);
+
+  kk::View1D<double, kk::Host> x("x", 4), y("y", 4);
+  for (std::size_t i = 0; i < 4; ++i) x(i) = double(i) + 1.0;
+  m.spmv(x, y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double expect = 0;
+    for (std::size_t j = 0; j < 4; ++j) expect += a[i][j] * x(j);
+    EXPECT_DOUBLE_EQ(y(i), expect);
+  }
+}
+
+TEST(OACSR, DualSpmvEqualsTwoSingles) {
+  const std::vector<std::vector<double>> a = {
+      {0, 1, 4}, {1, 0, 2}, {4, 2, 0}};
+  auto m = from_dense(a);
+  kk::View1D<double, kk::Host> x1("x1", 3), x2("x2", 3), y1("y1", 3),
+      y2("y2", 3), r1("r1", 3), r2("r2", 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    x1(i) = double(i) - 1.0;
+    x2(i) = 2.0 * double(i) + 0.5;
+  }
+  m.spmv(x1, r1);
+  m.spmv(x2, r2);
+  m.spmv_dual(x1, x2, y1, y2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y1(i), r1(i));
+    EXPECT_DOUBLE_EQ(y2(i), r2(i));
+  }
+}
+
+TEST(OACSR, TeamSpmvMatchesFlat) {
+  const std::vector<std::vector<double>> a = {
+      {0, 1, 0, 2, 0}, {1, 0, 3, 0, 0}, {0, 3, 0, 1, 1},
+      {2, 0, 1, 0, 4}, {0, 0, 1, 4, 0}};
+  auto m = from_dense(a);
+  kk::View1D<double, kk::Host> x("x", 5), yf("yf", 5), yt("yt", 5);
+  for (std::size_t i = 0; i < 5; ++i) x(i) = std::sin(double(i) + 1.0);
+  m.spmv(x, yf);
+  m.spmv_team(x, yt);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(yt(i), yf(i));
+}
+
+TEST(QEqSolver, MatchesDenseSolutionOnTinySystem) {
+  // Two atoms: analytic QEq solution q1 = -q2 = (chi2 - chi1) /
+  // (eta1 + eta2 + 2*H12 ... ) — solve the 2x2 KKT system directly and
+  // compare with the CG + neutrality-projection path.
+  using testing::total_pe;
+  init_all();
+  Simulation sim;
+  sim.thermo.print = false;
+  Input in(sim);
+  in.line("units real");
+  in.line("lattice hns_like 5.2");
+  in.line("create_atoms 2 2 2 jitter 0.02 4411");
+  in.line("mass 1 12.0");
+  in.line("mass 2 16.0");
+  in.line("pair_style reaxff-lite");
+  in.line("pair_coeff * * hns");
+  total_pe(sim);
+
+  auto* pair = dynamic_cast<PairReaxFFLite<kk::Host>*>(sim.pair.get());
+  const auto& H = pair->qeq().matrix();
+  const ReaxParams& p = pair->params();
+  const localint n = sim.atom.nlocal;
+
+  // Dense assembly of A = H + diag(eta) over owned atoms, folding ghost
+  // columns onto their owners by tag.
+  sim.atom.sync<kk::Host>(Q_MASK | TYPE_MASK | TAG_MASK);
+  std::vector<localint> owner_of(std::size_t(sim.atom.nall()));
+  {
+    std::map<tagint, localint> by_tag;
+    for (localint i = 0; i < n; ++i)
+      by_tag[sim.atom.k_tag.h_view(std::size_t(i))] = i;
+    for (localint i = 0; i < sim.atom.nall(); ++i)
+      owner_of[std::size_t(i)] = by_tag.at(sim.atom.k_tag.h_view(std::size_t(i)));
+  }
+  std::vector<std::vector<double>> A(std::size_t(n),
+                                     std::vector<double>(std::size_t(n), 0.0));
+  for (localint i = 0; i < n; ++i) {
+    A[std::size_t(i)][std::size_t(i)] +=
+        p.eta[sim.atom.k_type.h_view(std::size_t(i))];
+    const bigint beg = H.row_offset(std::size_t(i));
+    for (int k = 0; k < H.row_count(std::size_t(i)); ++k) {
+      const int j = H.col(std::size_t(beg + k));
+      A[std::size_t(i)][std::size_t(owner_of[std::size_t(j)])] +=
+          H.val(std::size_t(beg + k));
+    }
+  }
+  // Dense Gaussian elimination for A s = -chi and A t = -1.
+  auto solve = [&](std::vector<double> b) {
+    auto M = A;
+    const int nn = int(n);
+    for (int c = 0; c < nn; ++c) {
+      int piv = c;
+      for (int r = c + 1; r < nn; ++r)
+        if (std::abs(M[std::size_t(r)][std::size_t(c)]) >
+            std::abs(M[std::size_t(piv)][std::size_t(c)]))
+          piv = r;
+      std::swap(M[std::size_t(c)], M[std::size_t(piv)]);
+      std::swap(b[std::size_t(c)], b[std::size_t(piv)]);
+      for (int r = c + 1; r < nn; ++r) {
+        const double f = M[std::size_t(r)][std::size_t(c)] /
+                         M[std::size_t(c)][std::size_t(c)];
+        for (int k = c; k < nn; ++k)
+          M[std::size_t(r)][std::size_t(k)] -=
+              f * M[std::size_t(c)][std::size_t(k)];
+        b[std::size_t(r)] -= f * b[std::size_t(c)];
+      }
+    }
+    std::vector<double> x(std::size_t(nn), 0.0);
+    for (int r = nn - 1; r >= 0; --r) {
+      double acc = b[std::size_t(r)];
+      for (int k = r + 1; k < nn; ++k)
+        acc -= M[std::size_t(r)][std::size_t(k)] * x[std::size_t(k)];
+      x[std::size_t(r)] = acc / M[std::size_t(r)][std::size_t(r)];
+    }
+    return x;
+  };
+  std::vector<double> bchi(std::size_t(n), 0.0);
+  std::vector<double> bone(std::size_t(n), -1.0);
+  for (localint i = 0; i < n; ++i)
+    bchi[std::size_t(i)] = -p.chi[sim.atom.k_type.h_view(std::size_t(i))];
+  const auto s = solve(bchi);
+  const auto t = solve(bone);
+  double ssum = 0, tsum = 0;
+  for (localint i = 0; i < n; ++i) {
+    ssum += s[std::size_t(i)];
+    tsum += t[std::size_t(i)];
+  }
+  const double mu = ssum / tsum;
+
+  for (localint i = 0; i < n; ++i) {
+    const double q_dense = s[std::size_t(i)] - mu * t[std::size_t(i)];
+    EXPECT_NEAR(sim.atom.k_q.h_view(std::size_t(i)), q_dense, 1e-6)
+        << "atom " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mlk::reaxff
