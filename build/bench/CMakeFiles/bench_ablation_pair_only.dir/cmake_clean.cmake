@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pair_only.dir/bench_ablation_pair_only.cpp.o"
+  "CMakeFiles/bench_ablation_pair_only.dir/bench_ablation_pair_only.cpp.o.d"
+  "bench_ablation_pair_only"
+  "bench_ablation_pair_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pair_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scatter.dir/bench_ablation_scatter.cpp.o"
+  "CMakeFiles/bench_ablation_scatter.dir/bench_ablation_scatter.cpp.o.d"
+  "bench_ablation_scatter"
+  "bench_ablation_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

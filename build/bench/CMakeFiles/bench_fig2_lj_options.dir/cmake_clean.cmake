@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lj_options.dir/bench_fig2_lj_options.cpp.o"
+  "CMakeFiles/bench_fig2_lj_options.dir/bench_fig2_lj_options.cpp.o.d"
+  "bench_fig2_lj_options"
+  "bench_fig2_lj_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lj_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_carveout.dir/bench_fig3_carveout.cpp.o"
+  "CMakeFiles/bench_fig3_carveout.dir/bench_fig3_carveout.cpp.o.d"
+  "bench_fig3_carveout"
+  "bench_fig3_carveout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_carveout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_saturation.dir/bench_fig4_saturation.cpp.o"
+  "CMakeFiles/bench_fig4_saturation.dir/bench_fig4_saturation.cpp.o.d"
+  "bench_fig4_saturation"
+  "bench_fig4_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_arch_comparison.dir/bench_fig5_arch_comparison.cpp.o"
+  "CMakeFiles/bench_fig5_arch_comparison.dir/bench_fig5_arch_comparison.cpp.o.d"
+  "bench_fig5_arch_comparison"
+  "bench_fig5_arch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_arch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_alps_eos.dir/bench_fig7_alps_eos.cpp.o"
+  "CMakeFiles/bench_fig7_alps_eos.dir/bench_fig7_alps_eos.cpp.o.d"
+  "bench_fig7_alps_eos"
+  "bench_fig7_alps_eos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_alps_eos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

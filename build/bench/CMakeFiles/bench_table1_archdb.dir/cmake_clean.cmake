@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_archdb.dir/bench_table1_archdb.cpp.o"
+  "CMakeFiles/bench_table1_archdb.dir/bench_table1_archdb.cpp.o.d"
+  "bench_table1_archdb"
+  "bench_table1_archdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_archdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_batching.dir/bench_table2_batching.cpp.o"
+  "CMakeFiles/bench_table2_batching.dir/bench_table2_batching.cpp.o.d"
+  "bench_table2_batching"
+  "bench_table2_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

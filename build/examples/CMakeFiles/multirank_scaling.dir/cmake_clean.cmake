@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirank_scaling.dir/multirank_scaling.cpp.o"
+  "CMakeFiles/multirank_scaling.dir/multirank_scaling.cpp.o.d"
+  "multirank_scaling"
+  "multirank_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirank_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

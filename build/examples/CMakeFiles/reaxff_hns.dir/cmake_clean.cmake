@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaxff_hns.dir/reaxff_hns.cpp.o"
+  "CMakeFiles/reaxff_hns.dir/reaxff_hns.cpp.o.d"
+  "reaxff_hns"
+  "reaxff_hns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaxff_hns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

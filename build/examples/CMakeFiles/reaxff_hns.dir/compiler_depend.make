@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reaxff_hns.
+# This may be replaced when dependencies are built.

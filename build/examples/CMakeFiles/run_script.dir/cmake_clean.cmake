@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_script.dir/run_script.cpp.o"
+  "CMakeFiles/run_script.dir/run_script.cpp.o.d"
+  "run_script"
+  "run_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_tungsten.dir/snap_tungsten.cpp.o"
+  "CMakeFiles/snap_tungsten.dir/snap_tungsten.cpp.o.d"
+  "snap_tungsten"
+  "snap_tungsten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_tungsten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/init_all.cpp" "src/CMakeFiles/mlk_all.dir/init_all.cpp.o" "gcc" "src/CMakeFiles/mlk_all.dir/init_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_pair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_snap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_reaxff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_all.dir/init_all.cpp.o"
+  "CMakeFiles/mlk_all.dir/init_all.cpp.o.d"
+  "libmlk_all.a"
+  "libmlk_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

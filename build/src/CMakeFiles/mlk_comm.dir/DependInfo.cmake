@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/decomposition.cpp" "src/CMakeFiles/mlk_comm.dir/comm/decomposition.cpp.o" "gcc" "src/CMakeFiles/mlk_comm.dir/comm/decomposition.cpp.o.d"
+  "/root/repo/src/comm/simmpi.cpp" "src/CMakeFiles/mlk_comm.dir/comm/simmpi.cpp.o" "gcc" "src/CMakeFiles/mlk_comm.dir/comm/simmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_comm.dir/comm/decomposition.cpp.o"
+  "CMakeFiles/mlk_comm.dir/comm/decomposition.cpp.o.d"
+  "CMakeFiles/mlk_comm.dir/comm/simmpi.cpp.o"
+  "CMakeFiles/mlk_comm.dir/comm/simmpi.cpp.o.d"
+  "libmlk_comm.a"
+  "libmlk_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

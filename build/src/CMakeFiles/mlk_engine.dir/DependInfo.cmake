@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/atom.cpp" "src/CMakeFiles/mlk_engine.dir/engine/atom.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/atom.cpp.o.d"
+  "/root/repo/src/engine/atom_vec_kokkos.cpp" "src/CMakeFiles/mlk_engine.dir/engine/atom_vec_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/atom_vec_kokkos.cpp.o.d"
+  "/root/repo/src/engine/comm_pair.cpp" "src/CMakeFiles/mlk_engine.dir/engine/comm_pair.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/comm_pair.cpp.o.d"
+  "/root/repo/src/engine/compute_pressure.cpp" "src/CMakeFiles/mlk_engine.dir/engine/compute_pressure.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/compute_pressure.cpp.o.d"
+  "/root/repo/src/engine/compute_rdf.cpp" "src/CMakeFiles/mlk_engine.dir/engine/compute_rdf.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/compute_rdf.cpp.o.d"
+  "/root/repo/src/engine/compute_temp.cpp" "src/CMakeFiles/mlk_engine.dir/engine/compute_temp.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/compute_temp.cpp.o.d"
+  "/root/repo/src/engine/domain.cpp" "src/CMakeFiles/mlk_engine.dir/engine/domain.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/domain.cpp.o.d"
+  "/root/repo/src/engine/dump_xyz.cpp" "src/CMakeFiles/mlk_engine.dir/engine/dump_xyz.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/dump_xyz.cpp.o.d"
+  "/root/repo/src/engine/fix_langevin.cpp" "src/CMakeFiles/mlk_engine.dir/engine/fix_langevin.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/fix_langevin.cpp.o.d"
+  "/root/repo/src/engine/fix_langevin_kokkos.cpp" "src/CMakeFiles/mlk_engine.dir/engine/fix_langevin_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/fix_langevin_kokkos.cpp.o.d"
+  "/root/repo/src/engine/fix_nve.cpp" "src/CMakeFiles/mlk_engine.dir/engine/fix_nve.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/fix_nve.cpp.o.d"
+  "/root/repo/src/engine/fix_nvt.cpp" "src/CMakeFiles/mlk_engine.dir/engine/fix_nvt.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/fix_nvt.cpp.o.d"
+  "/root/repo/src/engine/input.cpp" "src/CMakeFiles/mlk_engine.dir/engine/input.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/input.cpp.o.d"
+  "/root/repo/src/engine/lattice.cpp" "src/CMakeFiles/mlk_engine.dir/engine/lattice.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/lattice.cpp.o.d"
+  "/root/repo/src/engine/neighbor.cpp" "src/CMakeFiles/mlk_engine.dir/engine/neighbor.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/neighbor.cpp.o.d"
+  "/root/repo/src/engine/neighbor_kokkos.cpp" "src/CMakeFiles/mlk_engine.dir/engine/neighbor_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/neighbor_kokkos.cpp.o.d"
+  "/root/repo/src/engine/simulation.cpp" "src/CMakeFiles/mlk_engine.dir/engine/simulation.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/simulation.cpp.o.d"
+  "/root/repo/src/engine/style_registry.cpp" "src/CMakeFiles/mlk_engine.dir/engine/style_registry.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/style_registry.cpp.o.d"
+  "/root/repo/src/engine/thermo.cpp" "src/CMakeFiles/mlk_engine.dir/engine/thermo.cpp.o" "gcc" "src/CMakeFiles/mlk_engine.dir/engine/thermo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_kokkos.dir/kokkos/core.cpp.o"
+  "CMakeFiles/mlk_kokkos.dir/kokkos/core.cpp.o.d"
+  "CMakeFiles/mlk_kokkos.dir/kokkos/threadpool.cpp.o"
+  "CMakeFiles/mlk_kokkos.dir/kokkos/threadpool.cpp.o.d"
+  "libmlk_kokkos.a"
+  "libmlk_kokkos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_kokkos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pair/pair_eam.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_eam.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_eam.cpp.o.d"
+  "/root/repo/src/pair/pair_eam_kokkos.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_eam_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_eam_kokkos.cpp.o.d"
+  "/root/repo/src/pair/pair_external.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_external.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_external.cpp.o.d"
+  "/root/repo/src/pair/pair_lj_cut.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut.cpp.o.d"
+  "/root/repo/src/pair/pair_lj_cut_coul_cut.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_coul_cut.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_coul_cut.cpp.o.d"
+  "/root/repo/src/pair/pair_lj_cut_kokkos.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_kokkos.cpp.o.d"
+  "/root/repo/src/pair/pair_table.cpp" "src/CMakeFiles/mlk_pair.dir/pair/pair_table.cpp.o" "gcc" "src/CMakeFiles/mlk_pair.dir/pair/pair_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_pair.dir/pair/pair_eam.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_eam.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_eam_kokkos.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_eam_kokkos.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_external.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_external.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_coul_cut.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_coul_cut.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_kokkos.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_lj_cut_kokkos.cpp.o.d"
+  "CMakeFiles/mlk_pair.dir/pair/pair_table.cpp.o"
+  "CMakeFiles/mlk_pair.dir/pair/pair_table.cpp.o.d"
+  "libmlk_pair.a"
+  "libmlk_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlk_pair.a"
+)

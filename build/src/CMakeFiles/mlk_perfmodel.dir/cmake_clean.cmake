@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/archdb.cpp.o"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/archdb.cpp.o.d"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/counters.cpp.o"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/counters.cpp.o.d"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/gpumodel.cpp.o"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/gpumodel.cpp.o.d"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/network.cpp.o"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/network.cpp.o.d"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/report.cpp.o"
+  "CMakeFiles/mlk_perfmodel.dir/perfmodel/report.cpp.o.d"
+  "libmlk_perfmodel.a"
+  "libmlk_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reaxff/angle.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/angle.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/angle.cpp.o.d"
+  "/root/repo/src/reaxff/bond_order.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/bond_order.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/bond_order.cpp.o.d"
+  "/root/repo/src/reaxff/nonbonded.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/nonbonded.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/nonbonded.cpp.o.d"
+  "/root/repo/src/reaxff/pair_reaxff_lite.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/pair_reaxff_lite.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/pair_reaxff_lite.cpp.o.d"
+  "/root/repo/src/reaxff/qeq.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/qeq.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/qeq.cpp.o.d"
+  "/root/repo/src/reaxff/sparse.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/sparse.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/sparse.cpp.o.d"
+  "/root/repo/src/reaxff/torsion.cpp" "src/CMakeFiles/mlk_reaxff.dir/reaxff/torsion.cpp.o" "gcc" "src/CMakeFiles/mlk_reaxff.dir/reaxff/torsion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_pair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

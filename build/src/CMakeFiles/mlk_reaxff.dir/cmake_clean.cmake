@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_reaxff.dir/reaxff/angle.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/angle.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/bond_order.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/bond_order.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/nonbonded.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/nonbonded.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/pair_reaxff_lite.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/pair_reaxff_lite.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/qeq.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/qeq.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/sparse.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/sparse.cpp.o.d"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/torsion.cpp.o"
+  "CMakeFiles/mlk_reaxff.dir/reaxff/torsion.cpp.o.d"
+  "libmlk_reaxff.a"
+  "libmlk_reaxff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_reaxff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

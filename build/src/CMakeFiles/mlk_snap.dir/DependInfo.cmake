@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snap/clebsch_gordan.cpp" "src/CMakeFiles/mlk_snap.dir/snap/clebsch_gordan.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/clebsch_gordan.cpp.o.d"
+  "/root/repo/src/snap/compute_snap_bispectrum.cpp" "src/CMakeFiles/mlk_snap.dir/snap/compute_snap_bispectrum.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/compute_snap_bispectrum.cpp.o.d"
+  "/root/repo/src/snap/pair_snap.cpp" "src/CMakeFiles/mlk_snap.dir/snap/pair_snap.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/pair_snap.cpp.o.d"
+  "/root/repo/src/snap/pair_snap_kokkos.cpp" "src/CMakeFiles/mlk_snap.dir/snap/pair_snap_kokkos.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/pair_snap_kokkos.cpp.o.d"
+  "/root/repo/src/snap/sna.cpp" "src/CMakeFiles/mlk_snap.dir/snap/sna.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/sna.cpp.o.d"
+  "/root/repo/src/snap/sna_kernels.cpp" "src/CMakeFiles/mlk_snap.dir/snap/sna_kernels.cpp.o" "gcc" "src/CMakeFiles/mlk_snap.dir/snap/sna_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_pair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_snap.dir/snap/clebsch_gordan.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/clebsch_gordan.cpp.o.d"
+  "CMakeFiles/mlk_snap.dir/snap/compute_snap_bispectrum.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/compute_snap_bispectrum.cpp.o.d"
+  "CMakeFiles/mlk_snap.dir/snap/pair_snap.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/pair_snap.cpp.o.d"
+  "CMakeFiles/mlk_snap.dir/snap/pair_snap_kokkos.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/pair_snap_kokkos.cpp.o.d"
+  "CMakeFiles/mlk_snap.dir/snap/sna.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/sna.cpp.o.d"
+  "CMakeFiles/mlk_snap.dir/snap/sna_kernels.cpp.o"
+  "CMakeFiles/mlk_snap.dir/snap/sna_kernels.cpp.o.d"
+  "libmlk_snap.a"
+  "libmlk_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

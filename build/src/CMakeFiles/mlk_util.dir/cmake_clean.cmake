@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlk_util.dir/util/error.cpp.o"
+  "CMakeFiles/mlk_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/mlk_util.dir/util/random.cpp.o"
+  "CMakeFiles/mlk_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/mlk_util.dir/util/string_utils.cpp.o"
+  "CMakeFiles/mlk_util.dir/util/string_utils.cpp.o.d"
+  "CMakeFiles/mlk_util.dir/util/timer.cpp.o"
+  "CMakeFiles/mlk_util.dir/util/timer.cpp.o.d"
+  "libmlk_util.a"
+  "libmlk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bigint.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_eam_table.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_eam_table.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_eam_table.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_kokkos_dualview.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_dualview.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_dualview.cpp.o.d"
+  "/root/repo/tests/test_kokkos_parallel.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_parallel.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_parallel.cpp.o.d"
+  "/root/repo/tests/test_kokkos_scatterview.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_scatterview.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_scatterview.cpp.o.d"
+  "/root/repo/tests/test_kokkos_team.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_team.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_team.cpp.o.d"
+  "/root/repo/tests/test_kokkos_view.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_view.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_kokkos_view.cpp.o.d"
+  "/root/repo/tests/test_lj.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_lj.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_lj.cpp.o.d"
+  "/root/repo/tests/test_neighbor.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_neighbor.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_neighbor.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_reaxff.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_reaxff.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_reaxff.cpp.o.d"
+  "/root/repo/tests/test_simmpi.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_simmpi.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_simmpi.cpp.o.d"
+  "/root/repo/tests/test_snap_math.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_snap_math.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_snap_math.cpp.o.d"
+  "/root/repo/tests/test_snap_pair.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_snap_pair.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_snap_pair.cpp.o.d"
+  "/root/repo/tests/test_sparse_qeq.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_sparse_qeq.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_sparse_qeq.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/minilmp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/minilmp_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlk_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_all.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_snap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_reaxff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_pair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_kokkos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
