@@ -16,6 +16,18 @@ void DumpXYZ::parse_args(const std::vector<std::string>& args) {
   path_ = args[1];
 }
 
+void DumpXYZ::pack_restart(io::BinaryWriter& w) const {
+  w.put(every_);
+  w.put_string(path_);
+  w.put(frames_);
+}
+
+void DumpXYZ::unpack_restart(io::BinaryReader& r) {
+  every_ = r.get<bigint>();
+  path_ = r.get_string();
+  frames_ = r.get<bigint>();
+}
+
 void DumpXYZ::init(Simulation& sim) {
   const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
   if (is_rank0) {

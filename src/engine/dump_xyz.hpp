@@ -18,6 +18,8 @@ class DumpXYZ : public Fix {
   void parse_args(const std::vector<std::string>& args) override;
   void init(Simulation& sim) override;
   void end_of_step(Simulation& sim) override;
+  void pack_restart(io::BinaryWriter& w) const override;
+  void unpack_restart(io::BinaryReader& r) override;
 
   bigint frames_written() const { return frames_; }
 

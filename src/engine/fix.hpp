@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "io/binary_io.hpp"
+
 namespace mlk {
 
 class Simulation;
@@ -24,6 +26,14 @@ class Fix {
   /// Force modification hook (thermostats, external fields).
   virtual void post_force(Simulation& sim) { (void)sim; }
   virtual void end_of_step(Simulation& sim) { (void)sim; }
+
+  /// Serialize private state (thermostat variables, RNG streams) into a
+  /// checkpoint. The default writes nothing: stateless fixes resume
+  /// correctly with no override. Stateful fixes must round-trip everything
+  /// the bitwise-identical-resume guarantee depends on.
+  virtual void pack_restart(io::BinaryWriter& w) const { (void)w; }
+  /// Restore state packed by pack_restart; called with this fix's own blob.
+  virtual void unpack_restart(io::BinaryReader& r) { (void)r; }
 
   std::string id;
   std::string style_name;

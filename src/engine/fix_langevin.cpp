@@ -47,6 +47,25 @@ void FixLangevin::post_force(Simulation& sim) {
   a.modified<kk::Host>(F_MASK);
 }
 
+void FixLangevin::pack_restart(io::BinaryWriter& w) const {
+  w.put(t_target_);
+  w.put(damp_);
+  const RanPark::State s = rng_.state();
+  w.put(s.seed);
+  w.put(std::uint8_t(s.save ? 1 : 0));
+  w.put(s.second);
+}
+
+void FixLangevin::unpack_restart(io::BinaryReader& r) {
+  t_target_ = r.get<double>();
+  damp_ = r.get<double>();
+  RanPark::State s;
+  s.seed = r.get<std::int64_t>();
+  s.save = r.get<std::uint8_t>() != 0;
+  s.second = r.get<double>();
+  rng_.set_state(s);
+}
+
 void register_fix_langevin() {
   StyleRegistry::instance().add_fix(
       "langevin", [](ExecSpaceKind) -> std::unique_ptr<Fix> {

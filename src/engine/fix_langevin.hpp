@@ -15,6 +15,10 @@ class FixLangevin : public Fix {
   /// args: <Tstart> <damp> <seed>
   void parse_args(const std::vector<std::string>& args) override;
   void post_force(Simulation& sim) override;
+  /// Round-trips the full RanPark stream state (seed, cached gaussian), so a
+  /// resumed run draws the exact kicks the uninterrupted run would have.
+  void pack_restart(io::BinaryWriter& w) const override;
+  void unpack_restart(io::BinaryReader& r) override;
 
  private:
   double t_target_;

@@ -42,6 +42,19 @@ class FixLangevinKokkos : public Fix {
     require(damp_ > 0.0, "fix langevin/kk: damp must be positive");
   }
 
+  // The counter-based RNG is stateless (keyed on seed/tag/step), so only
+  // the parameters need to round-trip for a bitwise-identical resume.
+  void pack_restart(io::BinaryWriter& w) const override {
+    w.put(t_target_);
+    w.put(damp_);
+    w.put(seed_);
+  }
+  void unpack_restart(io::BinaryReader& r) override {
+    t_target_ = r.get<double>();
+    damp_ = r.get<double>();
+    seed_ = r.get<unsigned>();
+  }
+
   void post_force(Simulation& sim) override {
     Atom& a = sim.atom;
     a.sync<Space>(V_MASK | F_MASK | TYPE_MASK | TAG_MASK);

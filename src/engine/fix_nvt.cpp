@@ -71,6 +71,20 @@ void FixNVT::final_integrate(Simulation& sim) {
   half_kick(sim);
 }
 
+void FixNVT::pack_restart(io::BinaryWriter& w) const {
+  w.put(t_target);
+  w.put(damp);
+  w.put(zeta_);
+  w.put(zeta_integral_);
+}
+
+void FixNVT::unpack_restart(io::BinaryReader& r) {
+  t_target = r.get<double>();
+  damp = r.get<double>();
+  zeta_ = r.get<double>();
+  zeta_integral_ = r.get<double>();
+}
+
 double FixNVT::conserved_correction(Simulation& sim) const {
   const double g = 3.0 * double(sim.global_natoms());
   const double kT = sim.units.boltz * t_target;

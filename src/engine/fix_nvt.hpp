@@ -17,6 +17,8 @@ class FixNVT : public Fix {
   void parse_args(const std::vector<std::string>& args) override;
   void initial_integrate(Simulation& sim) override;
   void final_integrate(Simulation& sim) override;
+  void pack_restart(io::BinaryWriter& w) const override;
+  void unpack_restart(io::BinaryReader& r) override;
 
   double t_target = 1.0;
   double damp = 1.0;

@@ -1,9 +1,12 @@
 #include "engine/input.hpp"
 
+#include <cstdio>
 #include <cmath>
 #include <fstream>
 
 #include "engine/style_registry.hpp"
+#include "io/fault.hpp"
+#include "io/restart_reader.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -146,6 +149,26 @@ void Input::execute(const std::vector<std::string>& words) {
     sim_.thermo.every = to_bigint(arg(1));
   } else if (cmd == "run") {
     sim_.run(to_bigint(arg(1)));
+  } else if (cmd == "write_restart") {
+    sim_.write_restart(arg(1));
+  } else if (cmd == "read_restart") {
+    io::RestartReader().read(sim_, arg(1));
+  } else if (cmd == "restart") {
+    // restart <N> <base>: checkpoint every N steps to base.<step>[.<rank>];
+    // restart 0 disables. For checkpoints that are bitwise-transparent to
+    // the writer run, pick N a multiple of the neighbor rebuild cadence.
+    sim_.restart_every = to_bigint(arg(1));
+    require(sim_.restart_every >= 0, "restart: interval must be >= 0");
+    sim_.restart_base = sim_.restart_every > 0 ? arg(2) : "";
+  } else if (cmd == "fault_inject") {
+    sim_.fault.arm(arg(1) == "off" ? -1 : to_bigint(arg(1)));
+  } else if (cmd == "recover") {
+    const bigint step = io::recover_latest(sim_, arg(1));
+    // Say which set was restored: a silent fallback past a torn newest
+    // checkpoint would otherwise be indistinguishable from a normal resume.
+    if (sim_.thermo.print && (!sim_.mpi || sim_.mpi->rank() == 0))
+      std::printf("# recovered '%s' from step %lld\n", arg(1).c_str(),
+                  static_cast<long long>(step));
   } else {
     fatal("unknown command '" + cmd + "'");
   }

@@ -26,6 +26,15 @@
 //   timestep <dt>
 //   thermo <N>
 //   run <N>
+//   write_restart <file>                       (one-shot checkpoint)
+//   read_restart <file>                        (resume from a checkpoint)
+//   restart <N> <base>                         (periodic: base.<step>[.rank];
+//                                               restart 0 disables)
+//   fault_inject <step|off>                    (kill the run mid-step at
+//                                               <step>; MLK_FAULT_STEP env
+//                                               overrides)
+//   recover <base>                             (resume from the newest
+//                                               CRC-valid base.<step> set)
 #pragma once
 
 #include <map>

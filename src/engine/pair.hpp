@@ -11,6 +11,7 @@
 
 #include "engine/atom.hpp"
 #include "engine/neighbor.hpp"
+#include "io/binary_io.hpp"
 
 namespace mlk {
 
@@ -37,6 +38,16 @@ class Pair {
 
   /// Compute forces into atom.f; accumulate energy/virial when eflag.
   virtual void compute(Simulation& sim, bool eflag) = 0;
+
+  /// Serialize settings + coefficients into a checkpoint; return true if the
+  /// style fully round-trips (a read_restart then needs no pair_style /
+  /// pair_coeff commands). Styles whose coefficients live in external tables
+  /// (EAM, SNAP) keep the default false and are re-specified on resume.
+  virtual bool pack_restart(io::BinaryWriter& w) const {
+    (void)w;
+    return false;
+  }
+  virtual void unpack_restart(io::BinaryReader& r) { (void)r; }
 
   /// Largest interaction cutoff (drives the neighbor list).
   virtual double cutoff() const = 0;

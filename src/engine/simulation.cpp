@@ -2,11 +2,24 @@
 
 #include <cmath>
 
+#include "io/restart.hpp"
+#include "io/restart_writer.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
 
-Simulation::Simulation() { units = Units::make("lj"); }
+Simulation::Simulation() {
+  units = Units::make("lj");
+  fault.arm_from_env();
+}
+
+void Simulation::write_restart(const std::string& base) {
+  io::RestartWriter().write(*this, base);
+  // A resumed process goes through setup() (ghost + neighbor rebuild from
+  // the saved positions); force the same path on the writer's next run so
+  // both trajectories stay bitwise-identical.
+  setup_done = false;
+}
 
 void Simulation::set_units(const std::string& which) {
   units = Units::make(which);
@@ -136,12 +149,24 @@ void Verlet::run(bigint nsteps) {
   for (bigint step = 0; step < nsteps; ++step) {
     ++sim.ntimestep;
 
+    // Periodic checkpoint this step? Decided up front: the write happens at
+    // end of step, but the step must also force a neighbor rebuild so a run
+    // resumed from the file rebuilds the *same* list at setup (the bitwise
+    // guarantee; LAMMPS likewise re-neighbors on restart outputs).
+    const bool checkpoint_step =
+        sim.restart_every > 0 && !sim.restart_base.empty() &&
+        sim.ntimestep % sim.restart_every == 0;
+
     for (auto& fix : sim.fixes) fix->initial_integrate(sim);
+
+    // Fault injection fires here — mid-step, integration half done but
+    // forces/thermo not yet — the worst place a real node can die.
+    sim.fault.maybe_fail(sim.ntimestep);
 
     // Neighbor list maintenance. The decision must be *global*: if any rank
     // rebuilds (entering the exchange/borders message pattern) all must.
-    bool rebuild = false;
-    if (sim.ntimestep % std::max(1, sim.neighbor.every) == 0)
+    bool rebuild = checkpoint_step;
+    if (!rebuild && sim.ntimestep % std::max(1, sim.neighbor.every) == 0)
       rebuild = !sim.neighbor.check || sim.neighbor.check_distance(sim.atom);
     if (sim.mpi) rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
     if (rebuild) {
@@ -157,6 +182,12 @@ void Verlet::run(bigint nsteps) {
 
     for (auto& fix : sim.fixes) fix->final_integrate(sim);
     for (auto& fix : sim.fixes) fix->end_of_step(sim);
+
+    if (checkpoint_step) {
+      ScopedTimer t(sim.timers, "Output");
+      io::RestartWriter().write(
+          sim, io::checkpoint_base(sim.restart_base, sim.ntimestep));
+    }
 
     if (thermo_step || step == nsteps - 1) sim.thermo.record(sim);
   }

@@ -17,6 +17,7 @@
 #include "engine/pair.hpp"
 #include "engine/thermo.hpp"
 #include "engine/units.hpp"
+#include "io/fault.hpp"
 #include "util/timer.hpp"
 
 namespace mlk {
@@ -47,6 +48,24 @@ class Simulation {
 
   /// Input-script newton override: -1 = use the pair style's preference.
   int newton_override = -1;
+
+  // --- checkpoint/restart (src/io) ---
+  /// Periodic checkpointing: every `restart_every` steps the Verlet loop
+  /// writes `restart_base.<step>[.<rank>]` (0 = off). Checkpoint steps force
+  /// a neighbor rebuild so a resumed run reproduces the writer's neighbor
+  /// list — the basis of the bitwise-identical-resume guarantee.
+  bigint restart_every = 0;
+  std::string restart_base;
+
+  /// Fault injection hook, armed by `fault_inject <step>` or MLK_FAULT_STEP;
+  /// fires mid-step (after the first integration half), where a crash loses
+  /// the most state.
+  io::FaultInjector fault;
+
+  /// Write a checkpoint of the current state to `base[.<rank>]`. Marks the
+  /// next run for a full setup so the continuing process and a process
+  /// resumed from this file take bitwise-identical trajectories.
+  void write_restart(const std::string& base);
 
   void set_units(const std::string& which);
 

@@ -65,13 +65,23 @@ std::pair<std::string, ExecSpaceKind> resolve(const Map& map,
   return {base, ExecSpaceKind::Host};
 }
 
+/// The unambiguous re-creatable name for a resolved style: host-resident
+/// Kokkos variants keep an explicit "/host" so a checkpoint can restore the
+/// exact variant (host and device differ in neighbor-list style and newton
+/// setting, which the bitwise-resume guarantee depends on).
+std::string resolved_name(const std::string& key, ExecSpaceKind space) {
+  if (space == ExecSpaceKind::Host && key.ends_with("/kk"))
+    return key + "/host";
+  return key;
+}
+
 }  // namespace
 
 std::unique_ptr<Pair> StyleRegistry::create_pair(
     const std::string& name, const std::string& global_suffix) {
   auto [key, space] = resolve(pairs_, name, global_suffix, "pair");
   auto p = pairs_.at(key).create(space);
-  p->style_name = key == name ? name : key;
+  p->style_name = resolved_name(key, space);
   return p;
 }
 
@@ -79,7 +89,7 @@ std::unique_ptr<Fix> StyleRegistry::create_fix(
     const std::string& name, const std::string& global_suffix) {
   auto [key, space] = resolve(fixes_, name, global_suffix, "fix");
   auto f = fixes_.at(key).create(space);
-  f->style_name = key;
+  f->style_name = resolved_name(key, space);
   return f;
 }
 

@@ -1,0 +1,110 @@
+// Binary serialization primitives for the checkpoint/restart subsystem.
+//
+// BinaryWriter/BinaryReader move POD scalars, strings, and vectors through a
+// flat byte buffer in the native byte order (the restart header carries an
+// endianness tag so a reader on a foreign-endian machine fails loudly instead
+// of silently mis-parsing). The reader bounds-checks every extraction and
+// throws mlk::Error on truncation, so a torn file can never read past its
+// payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlk::io {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip convention) over a byte span.
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+class BinaryWriter {
+ public:
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
+  }
+
+  void put_string(const std::string& s) {
+    put(std::uint64_t(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  template <class T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(std::uint64_t(v.size()));
+    const std::size_t at = buf_.size();
+    buf_.resize(at + v.size() * sizeof(T));
+    if (!v.empty())
+      std::memcpy(buf_.data() + at, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Append another writer's buffer as a length-prefixed blob (used to nest
+  /// per-fix / per-pair state so a reader can skip styles it cannot restore).
+  void put_blob(const BinaryWriter& w) { put_vector(w.buf_); }
+
+  const std::vector<char>& bytes() const { return buf_; }
+  std::uint32_t crc() const { return crc32(buf_.data(), buf_.size()); }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<char> bytes) : buf_(std::move(bytes)) {}
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get<std::uint64_t>();
+    need(std::size_t(n));
+    std::string s(buf_.data() + pos_, std::size_t(n));
+    pos_ += std::size_t(n);
+    return s;
+  }
+
+  template <class T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = get<std::uint64_t>();
+    need(std::size_t(n) * sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n) std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  /// Extract a nested length-prefixed blob as its own reader.
+  BinaryReader get_blob() { return BinaryReader(get_vector<char>()); }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    require(n <= buf_.size() - pos_,
+            "restart: truncated payload (wanted " + std::to_string(n) +
+                " bytes, " + std::to_string(buf_.size() - pos_) + " left)");
+  }
+
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mlk::io

@@ -1,0 +1,37 @@
+#include "io/fault.hpp"
+
+#include <cstdlib>
+
+#include "engine/simulation.hpp"
+#include "io/restart.hpp"
+#include "io/restart_reader.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk::io {
+
+void FaultInjector::arm_from_env() {
+  const char* env = std::getenv("MLK_FAULT_STEP");
+  if (!env) return;
+  const std::string s(env);
+  if (s.empty() || s == "off" || s == "0") {
+    fault_step_ = -1;
+    return;
+  }
+  fault_step_ = to_bigint(s);
+}
+
+bigint recover_latest(Simulation& sim, const std::string& base) {
+  const int nranks = sim.mpi ? sim.mpi->size() : 1;
+  const bigint step = find_latest_valid_checkpoint(base, nranks);
+  require(step >= 0,
+          "recover: no valid checkpoint found for '" + base +
+              "' (all candidates missing, torn, or CRC-corrupt)");
+  RestartReader().read(sim, checkpoint_base(base, step));
+  // A recovered run exists to finish the job: disarm any pending injected
+  // fault (MLK_FAULT_STEP re-arms each fresh Simulation) so recovery cannot
+  // crash-loop on the very step it is replaying.
+  sim.fault.arm(-1);
+  return step;
+}
+
+}  // namespace mlk::io

@@ -1,0 +1,71 @@
+// Fault injection + recovery harness for exercising the checkpoint/restart
+// path the way a node failure would at scale (paper §4's multi-day exascale
+// campaigns survive on exactly this machinery).
+//
+// FaultInjector kills a run mid-step — after the first integration half-kick,
+// before the end-of-step checkpoint write — at a configurable timestep, by
+// throwing FaultInjected. Configure via the `fault_inject <step>` script
+// command or the MLK_FAULT_STEP environment variable (env wins; "off"/unset
+// disables). A single injector fires at most once so the recovered run does
+// not immediately re-kill itself at the same step.
+//
+// Recovery: `recover_latest` scans `<base>.<step>` checkpoint sets, skips any
+// whose header/payload CRC fails (torn or truncated files), and restores the
+// newest valid one — the fallback-to-previous-checkpoint behavior a
+// production scheduler wrapper implements around srun.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+namespace io {
+
+/// Thrown by FaultInjector::maybe_fail — distinct from Error so tests and
+/// drivers can tell an injected crash from a genuine failure.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(bigint step)
+      : Error("fault injected at step " + std::to_string(step)),
+        step_(step) {}
+  bigint step() const { return step_; }
+
+ private:
+  bigint step_;
+};
+
+class FaultInjector {
+ public:
+  /// Arm the injector to fire when the run reaches `step` (-1 disarms).
+  void arm(bigint step) { fault_step_ = step; }
+
+  /// Read MLK_FAULT_STEP from the environment; overrides arm() if set.
+  void arm_from_env();
+
+  bool armed() const { return fault_step_ >= 0; }
+  bigint fault_step() const { return fault_step_; }
+
+  /// Called from the integration loop: throws FaultInjected once when
+  /// `step` reaches the armed step, then disarms.
+  void maybe_fail(bigint step) {
+    if (fault_step_ >= 0 && step >= fault_step_) {
+      fault_step_ = -1;
+      throw FaultInjected(step);
+    }
+  }
+
+ private:
+  bigint fault_step_ = -1;
+};
+
+/// Restore the newest CRC-valid checkpoint set `<base>.<step>` into `sim`.
+/// Returns the step resumed from. Throws when no valid checkpoint exists.
+bigint recover_latest(Simulation& sim, const std::string& base);
+
+}  // namespace io
+}  // namespace mlk

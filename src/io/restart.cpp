@@ -1,0 +1,80 @@
+#include "io/restart.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "io/binary_io.hpp"
+
+namespace mlk::io {
+
+namespace fs = std::filesystem;
+
+std::string restart_file_name(const std::string& base, int rank, int nranks) {
+  if (nranks <= 1) return base;
+  return base + "." + std::to_string(rank);
+}
+
+std::string checkpoint_base(const std::string& base, bigint step) {
+  return base + "." + std::to_string(step);
+}
+
+bool validate_restart_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+
+  RestartHeader h;
+  if (!in.read(reinterpret_cast<char*>(&h), sizeof(h))) return false;
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) return false;
+  if (h.version == 0 || h.version > kFormatVersion) return false;
+  if (h.endian_tag != kEndianTag) return false;
+  if (h.nranks <= 0 || h.rank < 0 || h.rank >= h.nranks) return false;
+  const std::uint32_t expect =
+      crc32(&h, sizeof(RestartHeader) - sizeof(std::uint32_t));
+  if (h.header_crc != expect) return false;
+
+  std::vector<char> payload(std::size_t(h.payload_size));
+  if (!in.read(payload.data(), std::streamsize(payload.size()))) return false;
+  return crc32(payload.data(), payload.size()) == h.payload_crc;
+}
+
+bool validate_checkpoint(const std::string& base, int nranks) {
+  for (int r = 0; r < nranks; ++r)
+    if (!validate_restart_file(restart_file_name(base, r, nranks)))
+      return false;
+  return true;
+}
+
+std::vector<bigint> list_checkpoint_steps(const std::string& base) {
+  const fs::path p(base);
+  const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  const std::string stem = p.filename().string() + ".";
+
+  std::vector<bigint> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    // Accept `<stem><digits>` and `<stem><digits>.<rank>`.
+    std::string rest = name.substr(stem.size());
+    const std::size_t dot = rest.find('.');
+    if (dot != std::string::npos) rest = rest.substr(0, dot);
+    if (rest.empty() ||
+        rest.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    const bigint step = std::stoll(rest);
+    if (std::find(steps.begin(), steps.end(), step) == steps.end())
+      steps.push_back(step);
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
+
+bigint find_latest_valid_checkpoint(const std::string& base, int nranks) {
+  for (const bigint step : list_checkpoint_steps(base))
+    if (validate_checkpoint(checkpoint_base(base, step), nranks)) return step;
+  return -1;
+}
+
+}  // namespace mlk::io

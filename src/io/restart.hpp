@@ -1,0 +1,70 @@
+// Versioned binary restart format shared by RestartWriter / RestartReader.
+//
+// On-disk layout of one per-rank checkpoint file:
+//
+//   RestartHeader (fixed 40 bytes)
+//     magic[8]      "MLKRSTRT"
+//     version       u32, format revision (readers reject newer versions)
+//     endian_tag    u32, 0x01020304 as written — a foreign-endian reader
+//                   sees 0x04030201 and rejects the file
+//     nranks, rank  i32 x2 — world size that wrote the set and this file's
+//                   rank; resuming with a different world size is an error
+//     payload_size  u64
+//     payload_crc   u32, CRC-32 of the payload bytes
+//     header_crc    u32, CRC-32 of the 36 header bytes above it
+//   payload (payload_size bytes, BinaryWriter stream — see RestartWriter)
+//
+// Torn/truncated files fail either the header CRC, the size check, or the
+// payload CRC and are rejected before any field is parsed.
+//
+// File naming: a serial run writes `<base>`; under simmpi each rank writes
+// `<base>.<rank>`. Periodic checkpoints embed the step: `<base>.<step>` /
+// `<base>.<step>.<rank>`, which is what recovery scans for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mlk::io {
+
+inline constexpr char kMagic[8] = {'M', 'L', 'K', 'R', 'S', 'T', 'R', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+struct RestartHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::int32_t nranks;
+  std::int32_t rank;
+  std::uint64_t payload_size;
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;  // CRC of the 36 bytes preceding this field
+};
+static_assert(sizeof(RestartHeader) == 40);
+
+/// Per-rank file name: `<base>` in serial, `<base>.<rank>` under simmpi.
+std::string restart_file_name(const std::string& base, int rank, int nranks);
+
+/// Periodic-checkpoint base name embedding the step: `<base>.<step>`.
+std::string checkpoint_base(const std::string& base, bigint step);
+
+/// Validate one file: magic, version, endianness, header CRC, size, payload
+/// CRC. Returns false (never throws) on any defect including a missing file.
+bool validate_restart_file(const std::string& path);
+
+/// Validate a whole checkpoint set: every rank's file of `<base>[.rank]`.
+bool validate_checkpoint(const std::string& base, int nranks);
+
+/// Steps of all periodic checkpoints `<base>.<step>[...]` present on disk,
+/// newest first. Lists what exists; validity is checked separately.
+std::vector<bigint> list_checkpoint_steps(const std::string& base);
+
+/// Newest step whose full checkpoint set passes validation, or -1 if none.
+/// Torn checkpoints are skipped — this is the recovery fallback path.
+bigint find_latest_valid_checkpoint(const std::string& base, int nranks);
+
+}  // namespace mlk::io

@@ -1,0 +1,36 @@
+// RestartReader — rebuilds a Simulation from a RestartWriter checkpoint.
+//
+// Validation order: header magic/version/endianness, header CRC, payload
+// size, payload CRC — all before any field is parsed, so torn or truncated
+// files are rejected with a clear error instead of producing a corrupt
+// resume. A checkpoint written by N ranks can only be read by an N-rank
+// world (the per-rank atom partition is not re-balanced on read).
+//
+// Styles: the pair style and fixes recorded in the checkpoint are
+// re-instantiated through the StyleRegistry and their state restored via
+// unpack_restart. If the resume script already declared a pair style or a
+// fix with the same id+style, the declared instance wins and only its
+// private state is overwritten — this is how styles whose coefficients
+// cannot be serialized (EAM tables, SNAP) resume: re-specify them in the
+// script, then read_restart.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+namespace io {
+
+class RestartReader {
+ public:
+  /// Read this rank's file of the checkpoint set at `base` into `sim`.
+  /// Throws mlk::Error on any validation failure or rank-count mismatch.
+  void read(Simulation& sim, const std::string& base);
+};
+
+}  // namespace io
+}  // namespace mlk

@@ -1,0 +1,32 @@
+// RestartWriter — serializes the complete resumable state of a Simulation
+// into the versioned binary format of restart.hpp.
+//
+// The payload captures everything the bitwise-identical-resume guarantee
+// needs: the timestep counter, units, dt, global suffix and newton override,
+// neighbor and thermo cadence settings, the Domain box, every owned atom's
+// tag/type/x/v/q plus per-type masses, the pair style (with coefficients for
+// styles that support restart), and each fix's private state — including RNG
+// internals (RanPark seed_/save_/second_) so stochastic thermostats resume
+// mid-stream instead of restarting their sequence.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+namespace io {
+
+class RestartWriter {
+ public:
+  /// Write this rank's checkpoint of `sim` to `restart_file_name(base)`.
+  /// Under simmpi every rank calls this and writes its own file; the call
+  /// ends with a barrier so the set is complete when any rank returns.
+  void write(Simulation& sim, const std::string& base);
+};
+
+}  // namespace io
+}  // namespace mlk

@@ -76,6 +76,46 @@ void PairLJCut::coeff(const std::vector<std::string>& args) {
       set_coeff(a, b, eps, sigma, cut);
 }
 
+bool PairLJCut::pack_restart(io::BinaryWriter& w) const {
+  w.put(cut_global_);
+  w.put(std::int32_t(ntypes_));
+  w.put(std::uint8_t(coeffs_set_ ? 1 : 0));
+  for (int a = 1; a <= ntypes_; ++a)
+    for (int b = 1; b <= ntypes_; ++b) {
+      w.put(epsilon_(std::size_t(a), std::size_t(b)));
+      w.put(sigma_(std::size_t(a), std::size_t(b)));
+      w.put(cut_(std::size_t(a), std::size_t(b)));
+    }
+  return true;
+}
+
+void PairLJCut::unpack_restart(io::BinaryReader& r) {
+  cut_global_ = r.get<double>();
+  const int ntypes = int(r.get<std::int32_t>());
+  const bool coeffs_set = r.get<std::uint8_t>() != 0;
+  allocate(ntypes);
+  max_cut_ = 0.0;
+  for (int a = 1; a <= ntypes; ++a)
+    for (int b = 1; b <= ntypes; ++b) {
+      const double eps = r.get<double>();
+      const double sigma = r.get<double>();
+      const double cut = r.get<double>();
+      // set_coeff would re-mark coeffs_set_ and symmetrize; write the slots
+      // directly so an (a,b)/(b,a) asymmetry never silently heals and the
+      // unset-marker (eps == 0) survives for init()'s mixing pass.
+      epsilon_(std::size_t(a), std::size_t(b)) = eps;
+      sigma_(std::size_t(a), std::size_t(b)) = sigma;
+      cut_(std::size_t(a), std::size_t(b)) = cut;
+      cutsq_(std::size_t(a), std::size_t(b)) = cut * cut;
+      lj1_(std::size_t(a), std::size_t(b)) = 48.0 * eps * std::pow(sigma, 12.0);
+      lj2_(std::size_t(a), std::size_t(b)) = 24.0 * eps * std::pow(sigma, 6.0);
+      lj3_(std::size_t(a), std::size_t(b)) = 4.0 * eps * std::pow(sigma, 12.0);
+      lj4_(std::size_t(a), std::size_t(b)) = 4.0 * eps * std::pow(sigma, 6.0);
+      max_cut_ = std::max(max_cut_, cut);
+    }
+  coeffs_set_ = coeffs_set;
+}
+
 void PairLJCut::init(Simulation& sim) {
   allocate(sim.atom.ntypes);
   require(coeffs_set_, "lj/cut: no pair_coeff given");

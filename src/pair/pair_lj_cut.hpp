@@ -22,6 +22,11 @@ class PairLJCut : public Pair {
   void compute(Simulation& sim, bool eflag) override;
   double cutoff() const override { return max_cut_; }
 
+  /// Full coefficient round-trip (also inherited by the Kokkos variants):
+  /// a read_restart needs no pair_style/pair_coeff commands to resume.
+  bool pack_restart(io::BinaryWriter& w) const override;
+  void unpack_restart(io::BinaryReader& r) override;
+
   NeighStyle neigh_style() const override { return NeighStyle::Half; }
   bool newton() const override { return true; }
 

@@ -17,6 +17,19 @@ class PairLJCutCoulCut : public PairLJCut {
   void compute(Simulation& sim, bool eflag) override;
   double cutoff() const override;
 
+  /// Extends the LJ round-trip with the Coulomb cutoff.
+  bool pack_restart(io::BinaryWriter& w) const override {
+    PairLJCut::pack_restart(w);
+    w.put(cut_coul_);
+    w.put(qqr2e);
+    return true;
+  }
+  void unpack_restart(io::BinaryReader& r) override {
+    PairLJCut::unpack_restart(r);
+    cut_coul_ = r.get<double>();
+    qqr2e = r.get<double>();
+  }
+
   /// Coulomb constant in the active unit system (qqr2e). LJ units: 1.
   double qqr2e = 1.0;
 

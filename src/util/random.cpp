@@ -23,6 +23,13 @@ void RanPark::reset(int seed) {
   second_ = 0.0;
 }
 
+void RanPark::set_state(const State& s) {
+  require(s.seed > 0 && s.seed < kIM, "RanPark state: seed out of range");
+  seed_ = s.seed;
+  save_ = s.save;
+  second_ = s.second;
+}
+
 double RanPark::uniform() {
   const std::int64_t k = seed_ / kIQ;
   seed_ = kIA * (seed_ - k * kIQ) - kIR * k;

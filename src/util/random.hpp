@@ -24,8 +24,21 @@ class RanPark {
   /// Uniform integer in [lo, hi].
   int irandom(int lo, int hi);
 
-  /// Re-seed, e.g. to decorrelate per-rank streams.
+  /// Re-seed, e.g. to decorrelate per-rank streams. Clears the cached
+  /// Marsaglia second variate — this starts a *new* stream; to resume an
+  /// existing stream mid-sequence use state()/set_state(), which round-trip
+  /// the cache instead of discarding it.
   void reset(int seed);
+
+  /// Full internal state, exposed so checkpoints can resume the stream
+  /// bitwise-exactly (the gaussian cache included).
+  struct State {
+    std::int64_t seed = 0;
+    bool save = false;
+    double second = 0.0;
+  };
+  State state() const { return {seed_, save_, second_}; }
+  void set_state(const State& s);
 
  private:
   std::int64_t seed_;

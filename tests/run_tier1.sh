@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+#
+#   tests/run_tier1.sh            # RelWithDebInfo build in build/
+#   tests/run_tier1.sh --asan     # AddressSanitizer build in build-asan/
+#   tests/run_tier1.sh --filter 'BitwiseResume.*'   # subset via gtest filter
+#
+# Extra arguments after the flags are passed to cmake's configure step.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo/build"
+cmake_args=()
+gtest_filter=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --asan)
+      build_dir="$repo/build-asan"
+      cmake_args+=(-DMLK_SANITIZE=address)
+      shift
+      ;;
+    --filter)
+      gtest_filter="$2"
+      shift 2
+      ;;
+    *)
+      cmake_args+=("$1")
+      shift
+      ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo" "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+
+if [[ -n "$gtest_filter" ]]; then
+  "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
+else
+  ctest --test-dir "$build_dir" --output-on-failure
+fi

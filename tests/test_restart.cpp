@@ -1,0 +1,535 @@
+// Checkpoint/restart subsystem tests: binary format round-trips, CRC
+// rejection of torn files, RNG-stream serialization, the bitwise-identical
+// resume guarantee (serial + multi-rank, plain + kk styles), and the fault
+// injection / recovery harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "io/binary_io.hpp"
+#include "io/fault.hpp"
+#include "io/restart.hpp"
+#include "io/restart_reader.hpp"
+#include "io/restart_writer.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace mlk {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / ("mlk_restart_" + name)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string file(const std::string& n) const { return (path / n).string(); }
+  fs::path path;
+};
+
+/// The melt workload of the acceptance criteria: LJ fcc, jittered, nve.
+/// `neigh_modify every 10 check no` pins the rebuild schedule so checkpoint
+/// steps (multiples of 50/100) coincide with natural rebuilds — the regime
+/// where checkpointing is bitwise-transparent to the writer run.
+void melt_script(Simulation& sim, Input& in, const std::string& suffix = "") {
+  sim.thermo.print = false;
+  in.line("units lj");
+  in.line("lattice fcc 0.8442");
+  in.line("create_atoms 4 4 4 jitter 0.05 78123");
+  in.line("mass 1 1.0");
+  in.line("velocity all create 1.44 87287");
+  if (!suffix.empty()) in.line("suffix " + suffix);
+  in.line("pair_style lj/cut 2.5");
+  in.line("pair_coeff * * 1.0 1.0");
+  in.line("neighbor 0.3 bin");
+  in.line("neigh_modify every 10 check no");
+  in.line("fix 1 all nve");
+  in.line("thermo 10");
+}
+
+struct AtomState {
+  double x[3], v[3], f[3];
+};
+
+std::map<tagint, AtomState> snapshot(Simulation& sim) {
+  Atom& a = sim.atom;
+  a.sync<kk::Host>(X_MASK | V_MASK | F_MASK | TAG_MASK);
+  std::map<tagint, AtomState> out;
+  for (localint i = 0; i < a.nlocal; ++i) {
+    AtomState s;
+    for (std::size_t d = 0; d < 3; ++d) {
+      s.x[d] = a.k_x.h_view(std::size_t(i), d);
+      s.v[d] = a.k_v.h_view(std::size_t(i), d);
+      s.f[d] = a.k_f.h_view(std::size_t(i), d);
+    }
+    out[a.k_tag.h_view(std::size_t(i))] = s;
+  }
+  return out;
+}
+
+/// Exact (bitwise-value) comparison of two per-tag snapshots.
+void expect_identical(const std::map<tagint, AtomState>& a,
+                      const std::map<tagint, AtomState>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [tag, sa] : a) {
+    const auto it = b.find(tag);
+    ASSERT_NE(it, b.end()) << "tag " << tag << " missing";
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(sa.x[d], it->second.x[d]) << "x tag=" << tag << " d=" << d;
+      EXPECT_EQ(sa.v[d], it->second.v[d]) << "v tag=" << tag << " d=" << d;
+      EXPECT_EQ(sa.f[d], it->second.f[d]) << "f tag=" << tag << " d=" << d;
+    }
+  }
+}
+
+/// Exact comparison of thermo rows from `from_step` on.
+void expect_rows_identical(const std::vector<ThermoRow>& straight,
+                           const std::vector<ThermoRow>& resumed,
+                           bigint from_step) {
+  std::map<bigint, ThermoRow> want;
+  for (const auto& r : straight)
+    if (r.step >= from_step) want[r.step] = r;
+  std::size_t matched = 0;
+  for (const auto& r : resumed) {
+    const auto it = want.find(r.step);
+    ASSERT_NE(it, want.end()) << "unexpected thermo step " << r.step;
+    EXPECT_EQ(r.temp, it->second.temp) << "step " << r.step;
+    EXPECT_EQ(r.pe, it->second.pe) << "step " << r.step;
+    EXPECT_EQ(r.ke, it->second.ke) << "step " << r.step;
+    EXPECT_EQ(r.etotal, it->second.etotal) << "step " << r.step;
+    EXPECT_EQ(r.press, it->second.press) << "step " << r.step;
+    ++matched;
+  }
+  EXPECT_EQ(matched, want.size()) << "thermo steps missing after resume";
+}
+
+// ---------------------------------------------------------------- binary io
+
+TEST(BinaryIO, ScalarStringVectorRoundTrip) {
+  io::BinaryWriter w;
+  w.put(std::int64_t(-42));
+  w.put(3.5);
+  w.put_string("lj/cut");
+  w.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  io::BinaryWriter nested;
+  nested.put(std::int32_t(7));
+  w.put_blob(nested);
+
+  io::BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get<double>(), 3.5);
+  EXPECT_EQ(r.get_string(), "lj/cut");
+  EXPECT_EQ(r.get_vector<double>(), (std::vector<double>{1.0, 2.0, 3.0}));
+  io::BinaryReader blob = r.get_blob();
+  EXPECT_EQ(blob.get<std::int32_t>(), 7);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIO, TruncatedReadThrows) {
+  io::BinaryWriter w;
+  w.put(std::int32_t(1));
+  io::BinaryReader r(w.bytes());
+  EXPECT_THROW(r.get<double>(), Error);
+}
+
+TEST(BinaryIO, Crc32KnownValue) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(io::crc32("123456789", 9), 0xCBF43926u);
+}
+
+// ------------------------------------------------------------ RanPark state
+
+TEST(RanParkState, AccessorsRoundTripMidStream) {
+  RanPark rng(12345);
+  // An odd number of gaussians leaves the Marsaglia cache loaded — the case
+  // reset(seed) silently discards.
+  for (int i = 0; i < 7; ++i) rng.gaussian();
+  const RanPark::State s = rng.state();
+
+  std::vector<double> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(rng.gaussian());
+  for (int i = 0; i < 8; ++i) expect.push_back(rng.uniform());
+
+  RanPark other(999);  // arbitrary different stream
+  other.set_state(s);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_EQ(other.gaussian(), expect[i]) << "gaussian " << i;
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(other.uniform(), expect[16 + i]) << "uniform " << i;
+}
+
+TEST(RanParkState, SetStateRejectsBadSeed) {
+  RanPark rng(1);
+  EXPECT_THROW(rng.set_state({0, false, 0.0}), Error);
+  EXPECT_THROW(rng.set_state({-5, false, 0.0}), Error);
+}
+
+// ------------------------------------------------- format-level validation
+
+TEST(RestartFormat, WriteThenValidate) {
+  ScratchDir dir("validate");
+  init_all();
+  auto sim = testing::make_lj_system(2);
+  sim->setup();
+  sim->write_restart(dir.file("a.restart"));
+  EXPECT_TRUE(io::validate_restart_file(dir.file("a.restart")));
+  EXPECT_FALSE(io::validate_restart_file(dir.file("missing.restart")));
+}
+
+TEST(RestartFormat, TruncatedFileRejected) {
+  ScratchDir dir("truncate");
+  init_all();
+  auto sim = testing::make_lj_system(2);
+  sim->setup();
+  const std::string path = dir.file("a.restart");
+  sim->write_restart(path);
+
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full / 2);
+  EXPECT_FALSE(io::validate_restart_file(path));
+  Simulation fresh;
+  EXPECT_THROW(io::RestartReader().read(fresh, path), Error);
+
+  // Even losing a single trailing byte must be detected.
+  sim->write_restart(path);
+  fs::resize_file(path, full - 1);
+  EXPECT_FALSE(io::validate_restart_file(path));
+}
+
+TEST(RestartFormat, CorruptPayloadByteRejectedByCrc) {
+  ScratchDir dir("corrupt");
+  init_all();
+  auto sim = testing::make_lj_system(2);
+  sim->setup();
+  const std::string path = dir.file("a.restart");
+  sim->write_restart(path);
+
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(0, std::ios::end);
+  const auto size = f.tellg();
+  f.seekp(std::streamoff(size) / 2);
+  char c;
+  f.seekg(std::streamoff(size) / 2);
+  f.read(&c, 1);
+  c = char(c ^ 0x40);
+  f.seekp(std::streamoff(size) / 2);
+  f.write(&c, 1);
+  f.close();
+
+  EXPECT_FALSE(io::validate_restart_file(path));
+  Simulation fresh;
+  try {
+    io::RestartReader().read(fresh, path);
+    FAIL() << "corrupt payload accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(RestartFormat, BadMagicRejected) {
+  ScratchDir dir("magic");
+  const std::string path = dir.file("junk.restart");
+  std::ofstream(path, std::ios::binary) << "this is not a restart file";
+  EXPECT_FALSE(io::validate_restart_file(path));
+  Simulation fresh;
+  EXPECT_THROW(io::RestartReader().read(fresh, path), Error);
+}
+
+// ------------------------------------------------- bitwise-identical resume
+
+/// Straight nsteps-step melt; returns (snapshot, thermo rows).
+std::pair<std::map<tagint, AtomState>, std::vector<ThermoRow>> run_straight(
+    bigint nsteps, const std::string& suffix) {
+  init_all();
+  Simulation sim;
+  Input in(sim);
+  melt_script(sim, in, suffix);
+  in.line("run " + std::to_string(nsteps));
+  return {snapshot(sim), sim.thermo.rows()};
+}
+
+void bitwise_resume_case(const std::string& suffix, const std::string& tag) {
+  ScratchDir dir("bitwise_" + tag);
+  const auto [straight_atoms, straight_rows] = run_straight(200, suffix);
+
+  // Writer: checkpoint every 100 steps, killed (abandoned) after step 200's
+  // worth would normally follow — here we just stop at 100.
+  {
+    init_all();
+    Simulation sim;
+    Input in(sim);
+    melt_script(sim, in, suffix);
+    in.line("restart 100 " + dir.file("ckpt"));
+    in.line("run 100");
+  }
+
+  // Resume in a fresh Simulation purely from the checkpoint file.
+  init_all();
+  Simulation sim;
+  Input in(sim);
+  sim.thermo.print = false;
+  in.line("read_restart " + dir.file("ckpt") + ".100");
+  EXPECT_EQ(sim.ntimestep, 100);
+  in.line("run 100");
+
+  expect_identical(straight_atoms, snapshot(sim));
+  expect_rows_identical(straight_rows, sim.thermo.rows(), 100);
+}
+
+TEST(BitwiseResume, MeltSerialPlainStyles) { bitwise_resume_case("", "plain"); }
+
+TEST(BitwiseResume, MeltSerialKokkosDevice) { bitwise_resume_case("kk", "kk"); }
+
+TEST(BitwiseResume, MeltSerialKokkosHost) {
+  bitwise_resume_case("kk/host", "kkhost");
+}
+
+TEST(BitwiseResume, NVTThermostatStateRoundTrips) {
+  ScratchDir dir("nvt");
+  auto straight = [&]() {
+    init_all();
+    Simulation sim;
+    Input in(sim);
+    melt_script(sim, in);
+    in.line("unfix 1");
+    in.line("fix 1 all nvt 1.2 0.5");
+    in.line("run 200");
+    return snapshot(sim);
+  }();
+
+  {
+    init_all();
+    Simulation sim;
+    Input in(sim);
+    melt_script(sim, in);
+    in.line("unfix 1");
+    in.line("fix 1 all nvt 1.2 0.5");
+    in.line("restart 100 " + dir.file("ckpt"));
+    in.line("run 100");
+  }
+
+  init_all();
+  Simulation sim;
+  Input in(sim);
+  sim.thermo.print = false;
+  in.line("read_restart " + dir.file("ckpt") + ".100");
+  // The checkpoint must have re-instantiated fix nvt with its thermostat
+  // degree of freedom; zeta != 0 after 100 thermostatted steps.
+  ASSERT_EQ(sim.fixes.size(), 1u);
+  EXPECT_EQ(sim.fixes[0]->style_name, "nvt");
+  in.line("run 100");
+  expect_identical(straight, snapshot(sim));
+}
+
+TEST(BitwiseResume, LangevinRngStreamResumesMidSequence) {
+  // Langevin forces depend on the half-step velocities, so an uninterrupted
+  // run is not the reference; the guarantee is writer-continuation ==
+  // resumed-from-file, which holds iff the RanPark stream (seed + cached
+  // gaussian) round-trips through the checkpoint.
+  ScratchDir dir("langevin");
+  init_all();
+
+  Simulation a;
+  {
+    Input in(a);
+    melt_script(a, in);
+    in.line("fix 2 all langevin 2.0 0.5 9281");
+    in.line("run 100");
+    in.line("write_restart " + dir.file("mid.restart"));
+  }
+
+  Simulation b;
+  Input inb(b);
+  b.thermo.print = false;
+  inb.line("read_restart " + dir.file("mid.restart"));
+  ASSERT_EQ(b.fixes.size(), 2u);
+
+  Input ina(a);
+  ina.line("run 100");
+  inb.line("run 100");
+  expect_identical(snapshot(a), snapshot(b));
+}
+
+// ------------------------------------------------------------- multi-rank
+
+TEST(RestartMultiRank, BitwiseResumeAcrossWorlds) {
+  ScratchDir dir("multirank");
+  init_all();
+  const int P = 2;
+
+  std::mutex mu;
+  std::map<tagint, AtomState> straight_atoms;
+  std::vector<ThermoRow> straight_rows;
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      Input in(sim);
+      melt_script(sim, in);
+      in.line("run 200");
+      auto mine = snapshot(sim);
+      std::lock_guard<std::mutex> lk(mu);
+      straight_atoms.merge(mine);
+      if (comm.rank() == 0) straight_rows = sim.thermo.rows();
+    });
+  }
+
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      Input in(sim);
+      melt_script(sim, in);
+      in.line("restart 100 " + dir.file("ckpt"));
+      in.line("run 100");
+    });
+  }
+  // Every rank must have published its own checkpoint file.
+  EXPECT_TRUE(fs::exists(dir.file("ckpt.100.0")));
+  EXPECT_TRUE(fs::exists(dir.file("ckpt.100.1")));
+
+  std::map<tagint, AtomState> resumed_atoms;
+  std::vector<ThermoRow> resumed_rows;
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      sim.thermo.print = false;
+      Input in(sim);
+      in.line("read_restart " + dir.file("ckpt.100"));
+      in.line("run 100");
+      auto mine = snapshot(sim);
+      std::lock_guard<std::mutex> lk(mu);
+      resumed_atoms.merge(mine);
+      if (comm.rank() == 0) resumed_rows = sim.thermo.rows();
+    });
+  }
+
+  expect_identical(straight_atoms, resumed_atoms);
+  expect_rows_identical(straight_rows, resumed_rows, 100);
+}
+
+TEST(RestartMultiRank, RankCountMismatchRejected) {
+  ScratchDir dir("rankmismatch");
+  init_all();
+  {
+    simmpi::World world(2);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      Input in(sim);
+      melt_script(sim, in);
+      in.line("write_restart " + dir.file("two.restart"));
+    });
+  }
+
+  // A serial run pointed at one of the per-rank files gets the clear error.
+  Simulation sim;
+  try {
+    io::RestartReader().read(sim, dir.file("two.restart.0"));
+    FAIL() << "rank-count mismatch accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("resume with the same rank count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------- fault injection/recovery
+
+TEST(FaultRecovery, InjectedCrashRecoversFromLastCheckpoint) {
+  ScratchDir dir("faultrecover");
+  const auto [straight_atoms, straight_rows] = run_straight(200, "");
+
+  // Writer: checkpoints at 50/100/150, injected node death mid-step 130.
+  init_all();
+  {
+    Simulation sim;
+    Input in(sim);
+    melt_script(sim, in);
+    in.line("restart 50 " + dir.file("job"));
+    in.line("fault_inject 130");
+    EXPECT_THROW(in.line("run 200"), io::FaultInjected);
+    EXPECT_EQ(sim.ntimestep, 130);  // died mid-step 130
+  }
+  // Steps 50 and 100 were checkpointed; 150 was never reached.
+  EXPECT_EQ(io::find_latest_valid_checkpoint(dir.file("job"), 1), 100);
+
+  // Recover: newest valid checkpoint, then finish the job.
+  Simulation sim;
+  Input in(sim);
+  sim.thermo.print = false;
+  in.line("recover " + dir.file("job"));
+  EXPECT_EQ(sim.ntimestep, 100);
+  in.line("run 100");
+
+  expect_identical(straight_atoms, snapshot(sim));
+  expect_rows_identical(straight_rows, sim.thermo.rows(), 100);
+}
+
+TEST(FaultRecovery, TornNewestCheckpointFallsBackToPrevious) {
+  ScratchDir dir("fallback");
+  const auto [straight_atoms, straight_rows] = run_straight(200, "");
+
+  init_all();
+  {
+    Simulation sim;
+    Input in(sim);
+    melt_script(sim, in);
+    in.line("restart 50 " + dir.file("job"));
+    in.line("fault_inject 130");
+    EXPECT_THROW(in.line("run 200"), io::FaultInjected);
+  }
+
+  // The "crash" also tore the newest checkpoint file mid-write.
+  const std::string newest = dir.file("job.100");
+  fs::resize_file(newest, fs::file_size(newest) / 3);
+  EXPECT_FALSE(io::validate_restart_file(newest));
+
+  Simulation sim;
+  sim.thermo.print = false;
+  const bigint step = io::recover_latest(sim, dir.file("job"));
+  EXPECT_EQ(step, 50);  // fell back past the torn checkpoint
+  Input in(sim);
+  in.line("run 150");
+
+  expect_identical(straight_atoms, snapshot(sim));
+  expect_rows_identical(straight_rows, sim.thermo.rows(), 50);
+}
+
+TEST(FaultRecovery, NoValidCheckpointIsAClearError) {
+  ScratchDir dir("novalid");
+  Simulation sim;
+  try {
+    io::recover_latest(sim, dir.file("job"));
+    FAIL() << "recovered from nothing";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no valid checkpoint"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultRecovery, EnvVarArmsInjector) {
+  ::setenv("MLK_FAULT_STEP", "7", 1);
+  Simulation sim;
+  ::unsetenv("MLK_FAULT_STEP");
+  EXPECT_TRUE(sim.fault.armed());
+  EXPECT_EQ(sim.fault.fault_step(), 7);
+  Simulation off;
+  EXPECT_FALSE(off.fault.armed());
+}
+
+}  // namespace
+}  // namespace mlk
