@@ -42,6 +42,7 @@ double pair_only_step(const GpuModel& g, const GpuModel& cpu, bigint n,
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_ablation_pair_only");
   const auto& s = bench::lj_stats();
   banner("Reverse offload (pair/only) vs fully device-resident, LJ on GH200",
          "Appendix C.1 ('-pk kokkos pair/only on')");

@@ -46,6 +46,7 @@ BENCHMARK_CAPTURE(BM_scatter, half_list_duplicated, kk::ScatterMode::Duplicated)
 BENCHMARK_CAPTURE(BM_scatter, half_list_sequential, kk::ScatterMode::Sequential);
 
 int main(int argc, char** argv) {
+  bench::Metrics metrics("bench_ablation_scatter");
   mlk::perf::banner(
       "ScatterView deconflicting ablation: atomics vs duplication vs "
       "sequential (LJ half list, 4000 atoms, real kernels)",

@@ -8,16 +8,62 @@
 // are labelled "measured" or "modelled" accordingly.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "minilammps.hpp"
 #include "perfmodel/counters.hpp"
 #include "perfmodel/network.hpp"
 #include "perfmodel/report.hpp"
+#include "tools/kernel_timer.hpp"
+#include "tools/memory_tracker.hpp"
+#include "tools/observability.hpp"
 #include "util/timer.hpp"
 
 namespace bench {
+
+/// Structured per-kernel metrics for a bench run. Declare one at the top of
+/// a bench main(); when MLK_BENCH_METRICS is set it registers a KernelTimer
+/// + MemorySpaceTracker for the program's lifetime and writes
+/// `<name>.metrics.json` ({"kernels": ..., "memory": ...}) on destruction —
+/// per-kernel count/min/max/mean seconds and items/s for every *measured*
+/// kernel the bench ran, alongside the modelled columns it prints.
+/// MLK_BENCH_METRICS=1 writes to the current directory; any other value is
+/// used as the output directory.
+class Metrics {
+ public:
+  explicit Metrics(std::string name) : name_(std::move(name)) {
+    const char* v = std::getenv("MLK_BENCH_METRICS");
+    if (!v || !*v || std::string(v) == "0") return;
+    dir_ = std::string(v) == "1" ? "." : v;
+    timer_ = std::make_shared<mlk::tools::KernelTimer>();
+    memory_ = std::make_shared<mlk::tools::MemorySpaceTracker>();
+    memory_->set_print_leaks(false);
+    kk::profiling::register_tool(timer_);
+    kk::profiling::register_tool(memory_);
+  }
+
+  ~Metrics() {
+    if (!timer_) return;
+    kk::profiling::deregister_tool(timer_);
+    kk::profiling::deregister_tool(memory_);
+    const std::string path = dir_ + "/" + name_ + ".metrics.json";
+    mlk::tools::write_profile_json(path, *timer_, *memory_);
+    std::printf("# per-kernel metrics written to %s\n", path.c_str());
+  }
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::shared_ptr<mlk::tools::KernelTimer> timer_;
+  std::shared_ptr<mlk::tools::MemorySpaceTracker> memory_;
+};
 
 using mlk::perf::PotentialStats;
 

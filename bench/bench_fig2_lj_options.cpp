@@ -38,6 +38,7 @@ double cpu_variant_time(NeighStyle style, bool newton, PairParallelism par,
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_fig2_lj_options");
   const auto& s = bench::lj_stats();
   std::printf("measured neighbors/atom within cutoff (full list): %.1f\n",
               s.neighbors_per_atom);

@@ -25,6 +25,7 @@ double kernel_time(const GpuModel& gpu, const std::vector<KernelWorkload>& ws,
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_fig3_carveout");
   const bigint n = 1024000;
   const auto& lj = bench::lj_stats();
   const auto& sn = bench::snap_stats();

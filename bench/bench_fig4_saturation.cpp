@@ -20,6 +20,7 @@ double reaxff_bytes_per_atom(const PotentialStats& s) {
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_fig4_saturation");
   const auto& lj = bench::lj_stats();
   const auto& rx = bench::reaxff_stats();
   const auto& sn = bench::snap_stats();

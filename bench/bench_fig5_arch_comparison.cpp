@@ -10,6 +10,7 @@ using namespace mlk;
 using namespace mlk::perf;
 
 int main() {
+  bench::Metrics metrics("bench_fig5_arch_comparison");
   const auto& lj = bench::lj_stats();
   const auto& rx = bench::reaxff_stats();
   const auto& sn = bench::snap_stats();

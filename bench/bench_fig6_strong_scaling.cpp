@@ -51,6 +51,7 @@ void run_case(const Case& c) {
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_fig6_strong_scaling");
   const auto& lj = bench::lj_stats();
   const auto& rx = bench::reaxff_stats();
   const auto& sn = bench::snap_stats();

@@ -38,6 +38,7 @@ void run_case(const char* name, bigint global,
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_fig7_alps_eos");
   const auto& lj = bench::lj_stats();
   const auto& rx = bench::reaxff_stats();
   const auto& sn = bench::snap_stats();

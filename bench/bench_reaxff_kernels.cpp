@@ -34,6 +34,7 @@ std::unique_ptr<Simulation> make_system(int cells) {
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_reaxff_kernels");
   banner("ReaxFF kernel studies: divergence pre-processing, hierarchical CSR "
          "build, fused Krylov solves",
          "Sections 4.2.1-4.2.3 (HNS-like molecular crystal)");

@@ -6,6 +6,7 @@
 #include "perfmodel/archdb.hpp"
 
 int main() {
+  bench::Metrics metrics("bench_table1_archdb");
   using namespace mlk::perf;
   banner("GPU architecture properties", "Table 1");
 

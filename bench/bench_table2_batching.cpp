@@ -42,6 +42,7 @@ double cpu_snap_step(int ui_batch) {
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("bench_table2_batching");
   const auto& s = bench::snap_stats();
   const bigint n = 64000;
   std::printf("SNAP twojmax=8: idxu=%d idxz=%d idxb=%d, neighbors/atom=%.1f "

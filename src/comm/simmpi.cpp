@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "kokkos/profiling.hpp"
 
 namespace simmpi {
 
@@ -20,6 +23,10 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   threads.reserve(std::size_t(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
+      // Tag the thread so profiling tools can scope events (and output
+      // files) to this rank, as one-process-per-rank MPI gets for free.
+      kk::profiling::set_thread_tag(r);
+      kk::profiling::set_thread_name("rank-" + std::to_string(r));
       Comm comm(*this, r);
       try {
         rank_main(comm);

@@ -7,6 +7,11 @@
 #include "engine/style_registry.hpp"
 #include "io/fault.hpp"
 #include "io/restart_reader.hpp"
+#include "kokkos/profiling.hpp"
+#include "tools/chrome_trace.hpp"
+#include "tools/kernel_timer.hpp"
+#include "tools/memory_tracker.hpp"
+#include "tools/observability.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -160,6 +165,58 @@ void Input::execute(const std::vector<std::string>& words) {
     sim_.restart_every = to_bigint(arg(1));
     require(sim_.restart_every >= 0, "restart: interval must be >= 0");
     sim_.restart_base = sim_.restart_every > 0 ? arg(2) : "";
+  } else if (cmd == "profile") {
+    // profile on | off | dump <file>: per-kernel timing + per-space memory
+    // accounting via the KokkosP-style hook layer (src/tools).
+    const std::string& sub = arg(1);
+    if (sub == "on") {
+      if (!sim_.profile_timer) {
+        sim_.profile_timer = std::make_shared<tools::KernelTimer>();
+        sim_.profile_memory = std::make_shared<tools::MemorySpaceTracker>();
+        sim_.profile_memory->set_print_leaks(false);
+        kk::profiling::register_tool(sim_.profile_timer);
+        kk::profiling::register_tool(sim_.profile_memory);
+      }
+    } else if (sub == "off") {
+      if (sim_.profile_timer) {
+        kk::profiling::deregister_tool(sim_.profile_timer);
+        kk::profiling::deregister_tool(sim_.profile_memory);
+        sim_.profile_timer.reset();
+        sim_.profile_memory.reset();
+      }
+    } else if (sub == "dump") {
+      require(sim_.profile_timer != nullptr, "profile dump: profiling is off "
+              "(use 'profile on' before the run)");
+      std::string path = arg(2);
+      if (sim_.mpi && sim_.mpi->size() > 1)
+        path += ".rank" + std::to_string(sim_.mpi->rank());
+      tools::write_profile_json(path, *sim_.profile_timer,
+                                *sim_.profile_memory);
+    } else {
+      fatal("profile: unknown sub-command '" + sub + "'");
+    }
+  } else if (cmd == "trace") {
+    // trace <file> | stop: chrome://tracing timeline of kernels, regions,
+    // and deep copies. Under simmpi each rank traces to <file>.rank<r>.
+    const std::string& sub = arg(1);
+    if (sub == "stop") {
+      if (sim_.tracer) {
+        kk::profiling::deregister_tool(sim_.tracer);
+        sim_.tracer->finalize();
+        sim_.tracer.reset();
+      }
+    } else {
+      require(sim_.tracer == nullptr, "trace: already tracing ('trace stop' "
+              "first)");
+      std::string path = sub;
+      int only_tag = tools::ChromeTrace::kNoFilter;
+      if (sim_.mpi && sim_.mpi->size() > 1) {
+        path += ".rank" + std::to_string(sim_.mpi->rank());
+        only_tag = sim_.mpi->rank();
+      }
+      sim_.tracer = std::make_shared<tools::ChromeTrace>(path, only_tag);
+      kk::profiling::register_tool(sim_.tracer);
+    }
   } else if (cmd == "fault_inject") {
     sim_.fault.arm(arg(1) == "off" ? -1 : to_bigint(arg(1)));
   } else if (cmd == "recover") {

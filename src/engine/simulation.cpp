@@ -4,6 +4,10 @@
 
 #include "io/restart.hpp"
 #include "io/restart_writer.hpp"
+#include "kokkos/profiling.hpp"
+#include "tools/chrome_trace.hpp"
+#include "tools/kernel_timer.hpp"
+#include "tools/memory_tracker.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
@@ -11,6 +15,23 @@ namespace mlk {
 Simulation::Simulation() {
   units = Units::make("lj");
   fault.arm_from_env();
+}
+
+Simulation::~Simulation() {
+  // Tools registered by input commands flush on owner destruction so tests
+  // and scripted runs get their files without waiting for process exit.
+  if (profile_timer) {
+    kk::profiling::deregister_tool(profile_timer);
+    profile_timer->finalize();
+  }
+  if (profile_memory) {
+    kk::profiling::deregister_tool(profile_memory);
+    profile_memory->finalize();
+  }
+  if (tracer) {
+    kk::profiling::deregister_tool(tracer);
+    tracer->finalize();
+  }
 }
 
 void Simulation::write_restart(const std::string& base) {
@@ -40,6 +61,7 @@ bigint Simulation::global_natoms() {
 }
 
 void Simulation::rebuild_neighbors() {
+  kk::profiling::ScopedRegion region("Verlet::neighbor");
   ScopedTimer t(timers, "Neigh");
   atom.clear_ghosts();
   comm.exchange(atom, domain);
@@ -49,6 +71,7 @@ void Simulation::rebuild_neighbors() {
 }
 
 void Simulation::setup() {
+  kk::profiling::ScopedRegion region("Simulation::setup");
   require(pair != nullptr, "no pair style defined");
   require(atom.nlocal > 0 || mpi != nullptr, "no atoms created");
 
@@ -75,14 +98,19 @@ void Simulation::setup() {
 }
 
 void Simulation::compute_forces(bool eflag) {
-  ScopedTimer t(timers, "Pair");
-  // Zero forces in the pair style's execution space over owned + ghosts.
-  if (pair->execution_space == ExecSpaceKind::Device)
-    atom.zero_forces<kk::Device>();
-  else
-    atom.zero_forces<kk::Host>();
+  kk::profiling::ScopedRegion region("Verlet::force");
+  // Pair and Comm buckets are disjoint (the end-of-run breakdown sums them
+  // against loop time), so the Pair timer closes before reverse comm runs.
+  {
+    ScopedTimer t(timers, "Pair");
+    // Zero forces in the pair style's execution space over owned + ghosts.
+    if (pair->execution_space == ExecSpaceKind::Device)
+      atom.zero_forces<kk::Device>();
+    else
+      atom.zero_forces<kk::Host>();
 
-  pair->compute(*this, eflag);
+    pair->compute(*this, eflag);
+  }
 
   // Ghost forces fold back onto their owners: half lists exploiting
   // Newton's third law, plus any style that writes ghost forces directly.
@@ -143,8 +171,14 @@ double Simulation::pressure() {
 
 void Verlet::run(bigint nsteps) {
   Simulation& sim = sim_;
+  kk::profiling::ScopedRegion loop_region("Verlet::run");
   sim.thermo.header();
   sim.thermo.record(sim);
+
+  // The end-of-run breakdown reports this run only: remember what each
+  // bucket held when the loop started and subtract at the end.
+  const std::map<std::string, double> timers_before = sim.timers.all();
+  Timer loop_timer;
 
   for (bigint step = 0; step < nsteps; ++step) {
     ++sim.ntimestep;
@@ -157,7 +191,10 @@ void Verlet::run(bigint nsteps) {
         sim.restart_every > 0 && !sim.restart_base.empty() &&
         sim.ntimestep % sim.restart_every == 0;
 
-    for (auto& fix : sim.fixes) fix->initial_integrate(sim);
+    {
+      kk::profiling::ScopedRegion r("Verlet::initial_integrate");
+      for (auto& fix : sim.fixes) fix->initial_integrate(sim);
+    }
 
     // Fault injection fires here — mid-step, integration half done but
     // forces/thermo not yet — the worst place a real node can die.
@@ -172,6 +209,7 @@ void Verlet::run(bigint nsteps) {
     if (rebuild) {
       sim.rebuild_neighbors();
     } else {
+      kk::profiling::ScopedRegion r("Verlet::comm");
       ScopedTimer t(sim.timers, "Comm");
       sim.comm.forward_positions(sim.atom);
     }
@@ -180,17 +218,26 @@ void Verlet::run(bigint nsteps) {
         sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
     sim.compute_forces(thermo_step || step == nsteps - 1);
 
-    for (auto& fix : sim.fixes) fix->final_integrate(sim);
-    for (auto& fix : sim.fixes) fix->end_of_step(sim);
+    {
+      kk::profiling::ScopedRegion r("Verlet::final_integrate");
+      for (auto& fix : sim.fixes) fix->final_integrate(sim);
+      for (auto& fix : sim.fixes) fix->end_of_step(sim);
+    }
 
     if (checkpoint_step) {
+      kk::profiling::ScopedRegion r("Verlet::output");
       ScopedTimer t(sim.timers, "Output");
       io::RestartWriter().write(
           sim, io::checkpoint_base(sim.restart_base, sim.ntimestep));
     }
 
-    if (thermo_step || step == nsteps - 1) sim.thermo.record(sim);
+    if (thermo_step || step == nsteps - 1) {
+      kk::profiling::ScopedRegion r("Verlet::output");
+      sim.thermo.record(sim);
+    }
   }
+
+  sim.thermo.breakdown(sim, loop_timer.seconds(), nsteps, timers_before);
 }
 
 }  // namespace mlk

@@ -22,9 +22,18 @@
 
 namespace mlk {
 
+namespace tools {
+class ChromeTrace;
+class KernelTimer;
+class MemorySpaceTracker;
+}  // namespace tools
+
 class Simulation {
  public:
   Simulation();
+  /// Flushes and deregisters any profiling tools owned by this Simulation
+  /// (registered via the `profile` / `trace` input commands).
+  ~Simulation();
 
   Units units;
   double dt = 0.005;
@@ -61,6 +70,14 @@ class Simulation {
   /// fires mid-step (after the first integration half), where a crash loses
   /// the most state.
   io::FaultInjector fault;
+
+  // --- observability (src/tools) ---
+  /// Tools registered by the `profile on` / `trace <file>` input commands.
+  /// Held here so `profile dump` can reach them and so the destructor can
+  /// flush + deregister; the kk::profiling registry owns dispatch.
+  std::shared_ptr<tools::KernelTimer> profile_timer;
+  std::shared_ptr<tools::MemorySpaceTracker> profile_memory;
+  std::shared_ptr<tools::ChromeTrace> tracer;
 
   /// Write a checkpoint of the current state to `base[.<rank>]`. Marks the
   /// next run for a full setup so the continuing process and a process

@@ -28,4 +28,38 @@ void Thermo::record(Simulation& sim) {
                 row.etotal, row.press);
 }
 
+void Thermo::breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
+                       const std::map<std::string, double>& before) const {
+  const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
+  if (!print || !is_rank0 || nsteps <= 0) return;
+
+  auto delta = [&](const char* name) {
+    double b = 0.0;
+    auto it = before.find(name);
+    if (it != before.end()) b = it->second;
+    return sim.timers.total(name) - b;
+  };
+
+  static const char* kSections[] = {"Pair", "Neigh", "Comm", "Output"};
+  double accounted = 0.0;
+  for (const char* s : kSections) accounted += delta(s);
+  const double other = loop_seconds > accounted ? loop_seconds - accounted : 0.0;
+  const double per_step_ms = 1e3 / double(nsteps);
+  const double pct = loop_seconds > 0.0 ? 100.0 / loop_seconds : 0.0;
+
+  std::printf("\nLoop time of %g s for %lld steps (%g ms/step)\n\n",
+              loop_seconds, static_cast<long long>(nsteps),
+              loop_seconds * per_step_ms);
+  std::printf("%-8s | %12s | %7s | %14s\n", "Section", "time (s)", "%loop",
+              "per-step (ms)");
+  std::printf("---------+--------------+---------+---------------\n");
+  for (const char* s : kSections) {
+    const double t = delta(s);
+    std::printf("%-8s | %12.6f | %6.2f%% | %14.6f\n", s, t, t * pct,
+                t * per_step_ms);
+  }
+  std::printf("%-8s | %12.6f | %6.2f%% | %14.6f\n", "Other", other,
+              other * pct, other * per_step_ms);
+}
+
 }  // namespace mlk

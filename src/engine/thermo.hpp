@@ -3,6 +3,8 @@
 // assertions about conservation and trajectories.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "util/types.hpp"
@@ -28,6 +30,13 @@ class Thermo {
   void header() const;
   /// Evaluate and record a row for the current step.
   void record(Simulation& sim);
+
+  /// LAMMPS-style end-of-run timing table (Pair/Neigh/Comm/Output/Other:
+  /// seconds, % of loop time, per-step average), printed on rank 0 after
+  /// each `run`. `before` holds the TimerSet totals at loop start so only
+  /// this run's accumulation is reported.
+  void breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
+                 const std::map<std::string, double>& before) const;
 
   const std::vector<ThermoRow>& rows() const { return rows_; }
   void clear() { rows_.clear(); }

@@ -1,5 +1,7 @@
 #include "minilammps.hpp"
 
+#include "tools/observability.hpp"
+
 namespace mlk {
 
 // Registration hooks exported by each style translation unit.
@@ -27,6 +29,7 @@ void init_all() {
   static bool done = false;
   if (done) return;
   done = true;
+  tools::init_from_env();  // MLK_PROFILE / MLK_TRACE observability hooks
   register_fix_nve();
   register_fix_langevin();
   register_compute_temp();

@@ -21,7 +21,9 @@
 
 namespace kk {
 
-inline void fence() {}  // pool dispatches are synchronous; kept for fidelity
+// Pool dispatches are synchronous; kept for fidelity. Still emits the
+// KokkosP fence event so timeline tools can mark synchronization points.
+inline void fence() { profiling::fence_event("kk::fence"); }
 
 // ---------------------------------------------------------------------------
 // Policies
@@ -100,11 +102,13 @@ struct Min {
 template <class Space, class F>
 void parallel_for(const std::string& name, RangePolicy<Space> p, const F& f) {
   const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
-  profiling::record_launch(name, Space::is_device, n);
+  profiling::ScopedKernel ev(profiling::KernelType::ParallelFor, name,
+                             Space::is_device, n);
   if (n == 0) return;
   if constexpr (Space::is_device) {
     ThreadPool::instance().parallel(
-        n, [&](std::size_t b, std::size_t e, int /*rank*/) {
+        n, [&](std::size_t b, std::size_t e, int rank) {
+          profiling::ScopedWorkerChunk wc(ev.id(), rank, b, e);
           for (std::size_t i = b; i < e; ++i) f(p.begin + i);
         });
   } else {
@@ -131,7 +135,8 @@ void parallel_for(const std::string& name, MDRangePolicy<Space, Rank> p,
   }
   std::size_t items = 1;
   for (int r = 0; r < Rank; ++r) items *= span[r];
-  profiling::record_launch(name, Space::is_device, items);
+  profiling::ScopedKernel ev(profiling::KernelType::ParallelFor, name,
+                             Space::is_device, items);
   if (items == 0) return;
 
   auto run_tile = [&](std::size_t t) {
@@ -159,7 +164,8 @@ void parallel_for(const std::string& name, MDRangePolicy<Space, Rank> p,
 
   if constexpr (Space::is_device) {
     ThreadPool::instance().parallel(
-        total_tiles, [&](std::size_t b, std::size_t e, int) {
+        total_tiles, [&](std::size_t b, std::size_t e, int rank) {
+          profiling::ScopedWorkerChunk wc(ev.id(), rank, b, e);
           for (std::size_t t = b; t < e; ++t) run_tile(t);
         });
   } else {
@@ -176,7 +182,8 @@ void parallel_reduce_impl(const std::string& name, RangePolicy<Space> p,
                           const F& f, Reducer red) {
   using T = typename Reducer::value_type;
   const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
-  profiling::record_launch(name, Space::is_device, n);
+  profiling::ScopedKernel ev(profiling::KernelType::ParallelReduce, name,
+                             Space::is_device, n);
   T result;
   Reducer::init(result);
   if constexpr (Space::is_device) {
@@ -186,6 +193,7 @@ void parallel_reduce_impl(const std::string& name, RangePolicy<Space> p,
     for (auto& v : partial) Reducer::init(v);
     ThreadPool::instance().parallel(
         n, [&](std::size_t b, std::size_t e, int rank) {
+          profiling::ScopedWorkerChunk wc(ev.id(), rank, b, e);
           T local;
           Reducer::init(local);
           for (std::size_t i = b; i < e; ++i) f(p.begin + i, local);
@@ -233,7 +241,8 @@ template <class Space, class F, class T>
 void parallel_scan(const std::string& name, RangePolicy<Space> p, const F& f,
                    T& total) {
   const std::size_t n = p.end > p.begin ? p.end - p.begin : 0;
-  profiling::record_launch(name, Space::is_device, n);
+  profiling::ScopedKernel ev(profiling::KernelType::ParallelScan, name,
+                             Space::is_device, n);
   if (n == 0) {
     total = T(0);
     return;

@@ -56,14 +56,19 @@ class DualView {
   /// only when actually stale.
   template <class Space>
   void sync() {
+    const std::uint64_t bytes = std::uint64_t(h_view.size()) * sizeof(T);
     if constexpr (Space::is_device) {
       if (host_modified_) {
+        profiling::ScopedDeepCopy dc("Device", d_view.label(), "Host",
+                                     h_view.label(), bytes);
         deep_copy(d_view, h_view);
         host_modified_ = false;
         ++transfer_count_;
       }
     } else {
       if (device_modified_) {
+        profiling::ScopedDeepCopy dc("Host", h_view.label(), "Device",
+                                     d_view.label(), bytes);
         deep_copy(h_view, d_view);
         device_modified_ = false;
         ++transfer_count_;

@@ -1,0 +1,368 @@
+#include "kokkos/profiling.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace kk::profiling {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Launch counting: per-thread shards. A shard's mutex is uncontended on the
+// owning thread's hot path (only snapshot/reset/merge ever take it from
+// another thread), so recording costs one uncontended lock + one hash lookup
+// instead of a process-global serialization point. Shards outlive their
+// threads (owned by the registry) so counts from finished simmpi rank
+// threads still appear in snapshots.
+// ---------------------------------------------------------------------------
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::string, LaunchStat> stats;
+  std::uint64_t total = 0;
+  std::uint64_t total_device = 0;
+};
+
+struct CountState {
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+std::atomic<bool> g_count_enabled{true};
+
+// Leaked on purpose: View deallocation events and shard merges can fire from
+// static destructors (e.g. cached PotentialStats holding Views); a leaked
+// state object keeps every ordering safe.
+CountState& count_state() {
+  static CountState* s = new CountState;
+  return *s;
+}
+
+Shard& my_shard() {
+  thread_local Shard* tl = nullptr;
+  if (!tl) {
+    auto owned = std::make_unique<Shard>();
+    tl = owned.get();
+    auto& cs = count_state();
+    std::lock_guard<std::mutex> lk(cs.registry_mu);
+    cs.shards.push_back(std::move(owned));
+  }
+  return *tl;
+}
+
+// ---------------------------------------------------------------------------
+// Tool registry. The registered set is published as an immutable vector
+// behind a shared_ptr so event dispatch never holds the registry lock while
+// running tool callbacks.
+// ---------------------------------------------------------------------------
+
+using ToolVec = std::vector<std::shared_ptr<Tool>>;
+
+struct ToolState {
+  std::mutex mu;
+  std::shared_ptr<const ToolVec> tools = std::make_shared<const ToolVec>();
+  bool atexit_installed = false;
+};
+
+std::atomic<bool> g_have_tools{false};
+
+ToolState& tool_state() {
+  static ToolState* s = new ToolState;
+  return *s;
+}
+
+std::shared_ptr<const ToolVec> current_tools() {
+  auto& ts = tool_state();
+  std::lock_guard<std::mutex> lk(ts.mu);
+  return ts.tools;
+}
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+// Per-thread region stack so pop_region can hand tools the region name and
+// stay balanced (pops on an empty stack are ignored).
+thread_local std::vector<std::string> t_region_stack;
+
+// Thread identity.
+std::atomic<int> g_next_track{0};
+thread_local int t_track_id = -1;
+thread_local int t_tag = -1;
+
+struct TrackNames {
+  std::mutex mu;
+  std::map<int, std::string> names;
+};
+TrackNames& track_names() {
+  static TrackNames* s = new TrackNames;
+  return *s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Launch counting
+// ---------------------------------------------------------------------------
+
+bool set_enabled(bool on) {
+  return g_count_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_count_enabled.load(std::memory_order_relaxed); }
+
+void record_launch(const std::string& name, bool is_device,
+                   std::uint64_t items) {
+  if (!g_count_enabled.load(std::memory_order_relaxed)) return;
+  Shard& sh = my_shard();
+  std::lock_guard<std::mutex> lk(sh.mu);
+  auto& s = sh.stats[name];
+  s.launches++;
+  s.total_items += items;
+  sh.total++;
+  if (is_device) {
+    s.device_launches++;
+    sh.total_device++;
+  }
+}
+
+std::map<std::string, LaunchStat> snapshot() {
+  std::map<std::string, LaunchStat> out;
+  auto& cs = count_state();
+  std::lock_guard<std::mutex> rk(cs.registry_mu);
+  for (auto& sh : cs.shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    for (const auto& [name, st] : sh->stats) {
+      auto& o = out[name];
+      o.launches += st.launches;
+      o.device_launches += st.device_launches;
+      o.total_items += st.total_items;
+    }
+  }
+  return out;
+}
+
+std::uint64_t total_launches() {
+  std::uint64_t t = 0;
+  auto& cs = count_state();
+  std::lock_guard<std::mutex> rk(cs.registry_mu);
+  for (auto& sh : cs.shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    t += sh->total;
+  }
+  return t;
+}
+
+std::uint64_t total_device_launches() {
+  std::uint64_t t = 0;
+  auto& cs = count_state();
+  std::lock_guard<std::mutex> rk(cs.registry_mu);
+  for (auto& sh : cs.shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    t += sh->total_device;
+  }
+  return t;
+}
+
+void reset() {
+  auto& cs = count_state();
+  std::lock_guard<std::mutex> rk(cs.registry_mu);
+  for (auto& sh : cs.shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->stats.clear();
+    sh->total = 0;
+    sh->total_device = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tool registry
+// ---------------------------------------------------------------------------
+
+void register_tool(std::shared_ptr<Tool> tool) {
+  if (!tool) return;
+  auto& ts = tool_state();
+  std::lock_guard<std::mutex> lk(ts.mu);
+  auto next = std::make_shared<ToolVec>(*ts.tools);
+  next->push_back(std::move(tool));
+  ts.tools = std::move(next);
+  g_have_tools.store(true, std::memory_order_relaxed);
+  if (!ts.atexit_installed) {
+    ts.atexit_installed = true;
+    std::atexit(finalize_tools);
+  }
+}
+
+void deregister_tool(const std::shared_ptr<Tool>& tool) {
+  auto& ts = tool_state();
+  std::lock_guard<std::mutex> lk(ts.mu);
+  auto next = std::make_shared<ToolVec>(*ts.tools);
+  std::erase(*next, tool);
+  g_have_tools.store(!next->empty(), std::memory_order_relaxed);
+  ts.tools = std::move(next);
+}
+
+bool tooling_active() {
+  return g_have_tools.load(std::memory_order_relaxed);
+}
+
+void finalize_tools() {
+  std::shared_ptr<const ToolVec> tools;
+  {
+    auto& ts = tool_state();
+    std::lock_guard<std::mutex> lk(ts.mu);
+    tools = ts.tools;
+    ts.tools = std::make_shared<const ToolVec>();
+    g_have_tools.store(false, std::memory_order_relaxed);
+  }
+  for (const auto& t : *tools) t->finalize();
+}
+
+// ---------------------------------------------------------------------------
+// Event dispatch
+// ---------------------------------------------------------------------------
+
+std::uint64_t begin_kernel(KernelType t, const std::string& name, bool device,
+                           std::uint64_t items) {
+  record_launch(name, device, items);
+  if (!tooling_active()) return 0;
+  const std::uint64_t kid =
+      g_next_id.fetch_add(1, std::memory_order_relaxed);
+  auto tools = current_tools();
+  for (const auto& tool : *tools) {
+    switch (t) {
+      case KernelType::ParallelFor:
+        tool->begin_parallel_for(name, device, items, kid);
+        break;
+      case KernelType::ParallelReduce:
+        tool->begin_parallel_reduce(name, device, items, kid);
+        break;
+      case KernelType::ParallelScan:
+        tool->begin_parallel_scan(name, device, items, kid);
+        break;
+    }
+  }
+  return kid;
+}
+
+void end_kernel(KernelType t, std::uint64_t kid) {
+  if (kid == 0 || !tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) {
+    switch (t) {
+      case KernelType::ParallelFor:
+        tool->end_parallel_for(kid);
+        break;
+      case KernelType::ParallelReduce:
+        tool->end_parallel_reduce(kid);
+        break;
+      case KernelType::ParallelScan:
+        tool->end_parallel_scan(kid);
+        break;
+    }
+  }
+}
+
+void push_region(const std::string& name) {
+  if (!tooling_active()) {
+    // Keep the stack balanced even while no tool listens, so a tool
+    // registered mid-region still sees matched pops.
+    t_region_stack.push_back(name);
+    return;
+  }
+  t_region_stack.push_back(name);
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->push_region(name);
+}
+
+void pop_region() {
+  if (t_region_stack.empty()) return;
+  const std::string name = std::move(t_region_stack.back());
+  t_region_stack.pop_back();
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->pop_region(name);
+}
+
+void allocate_data(const char* space, const std::string& label,
+                   const void* ptr, std::uint64_t bytes) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->allocate_data(space, label, ptr, bytes);
+}
+
+void deallocate_data(const char* space, const std::string& label,
+                     const void* ptr, std::uint64_t bytes) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools)
+    tool->deallocate_data(space, label, ptr, bytes);
+}
+
+std::uint64_t begin_deep_copy(const char* dst_space,
+                              const std::string& dst_label,
+                              const char* src_space,
+                              const std::string& src_label,
+                              std::uint64_t bytes) {
+  if (!tooling_active()) return 0;
+  const std::uint64_t id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  auto tools = current_tools();
+  for (const auto& tool : *tools)
+    tool->begin_deep_copy(dst_space, dst_label, src_space, src_label, bytes,
+                          id);
+  return id;
+}
+
+void end_deep_copy(std::uint64_t id) {
+  if (id == 0 || !tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->end_deep_copy(id);
+}
+
+void fence_event(const std::string& name) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->fence(name);
+}
+
+void begin_worker_chunk(std::uint64_t kid, int worker, std::uint64_t begin,
+                        std::uint64_t end) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools)
+    tool->begin_worker_chunk(kid, worker, begin, end);
+}
+
+void end_worker_chunk(std::uint64_t kid, int worker) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->end_worker_chunk(kid, worker);
+}
+
+// ---------------------------------------------------------------------------
+// Thread identity
+// ---------------------------------------------------------------------------
+
+int thread_track_id() {
+  if (t_track_id < 0)
+    t_track_id = g_next_track.fetch_add(1, std::memory_order_relaxed);
+  return t_track_id;
+}
+
+void set_thread_name(const std::string& name) {
+  auto& tn = track_names();
+  std::lock_guard<std::mutex> lk(tn.mu);
+  tn.names[thread_track_id()] = name;
+}
+
+std::map<int, std::string> thread_track_names() {
+  auto& tn = track_names();
+  std::lock_guard<std::mutex> lk(tn.mu);
+  return tn.names;
+}
+
+void set_thread_tag(int tag) { t_tag = tag; }
+
+int thread_tag() { return t_tag; }
+
+}  // namespace kk::profiling

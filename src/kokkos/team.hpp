@@ -136,8 +136,8 @@ void single(const TeamMember&, const F& f) {
 template <class Space, class F>
 void parallel_for(const std::string& name, const TeamPolicy<Space>& p,
                   const F& f) {
-  profiling::record_launch(
-      name, Space::is_device,
+  profiling::ScopedKernel ev(
+      profiling::KernelType::ParallelFor, name, Space::is_device,
       p.league_size * std::size_t(p.team_size) * std::size_t(p.vector_length));
   if (p.league_size == 0) return;
 
@@ -150,6 +150,7 @@ void parallel_for(const std::string& name, const TeamPolicy<Space>& p,
     if (p.scratch_bytes > 0)
       for (auto& s : scratch) s = std::make_unique<char[]>(p.scratch_bytes);
     pool.parallel(p.league_size, [&](std::size_t b, std::size_t e, int rank) {
+      profiling::ScopedWorkerChunk wc(ev.id(), rank, b, e);
       char* sp = p.scratch_bytes ? scratch[std::size_t(rank)].get() : nullptr;
       for (std::size_t lr = b; lr < e; ++lr) {
         TeamMember member(lr, p.league_size, p.team_size, p.vector_length, sp,
@@ -172,8 +173,9 @@ void parallel_for(const std::string& name, const TeamPolicy<Space>& p,
 template <class Space, class F, class T>
 void parallel_reduce(const std::string& name, const TeamPolicy<Space>& p,
                      const F& f, T& sum) {
-  profiling::record_launch(name, Space::is_device,
-                           p.league_size * std::size_t(p.team_size));
+  profiling::ScopedKernel ev(profiling::KernelType::ParallelReduce, name,
+                             Space::is_device,
+                             p.league_size * std::size_t(p.team_size));
   T result = T(0);
   if constexpr (Space::is_device) {
     auto& pool = ThreadPool::instance();
@@ -185,6 +187,7 @@ void parallel_reduce(const std::string& name, const TeamPolicy<Space>& p,
     if (p.scratch_bytes > 0)
       for (auto& s : scratch) s = std::make_unique<char[]>(p.scratch_bytes);
     pool.parallel(p.league_size, [&](std::size_t b, std::size_t e, int rank) {
+      profiling::ScopedWorkerChunk wc(ev.id(), rank, b, e);
       char* sp = p.scratch_bytes ? scratch[std::size_t(rank)].get() : nullptr;
       T local = T(0);
       for (std::size_t lr = b; lr < e; ++lr) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "kokkos/profiling.hpp"
 
 namespace kk {
 
@@ -83,6 +86,7 @@ void ThreadPool::parallel(
 
 void ThreadPool::worker_loop(int rank) {
   t_rank = rank;
+  profiling::set_thread_name("pool-worker-" + std::to_string(rank));
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t, int)>* body = nullptr;

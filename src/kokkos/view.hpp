@@ -14,6 +14,9 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <type_traits>
+
+#include "kokkos/profiling.hpp"
 
 namespace kk {
 
@@ -35,6 +38,15 @@ struct Device {
 
 using DefaultExecutionSpace = Device;
 using DefaultHostExecutionSpace = Host;
+
+/// Memory-space attribution for profiling tools. View is parameterized on
+/// Layout, not Space; the space-defaulted aliases pick LayoutLeft for Device
+/// and LayoutRight for Host (as does DualView), so the layout is the memory
+/// space's fingerprint in this simulation.
+template <class Layout>
+constexpr const char* layout_space_name() {
+  return std::is_same_v<Layout, LayoutLeft> ? "Device" : "Host";
+}
 
 template <class T, int Rank, class Layout = LayoutRight>
 class View {
@@ -130,7 +142,19 @@ class View {
   void allocate() {
     compute_strides();
     const std::size_t n = size();
-    data_ = n ? std::shared_ptr<T[]>(new T[n]()) : nullptr;
+    if (n == 0) {
+      data_ = nullptr;
+      return;
+    }
+    T* raw = new T[n]();
+    const std::uint64_t bytes = std::uint64_t(n) * sizeof(T);
+    profiling::allocate_data(layout_space_name<Layout>(), label_, raw, bytes);
+    // The deallocate event must fire when the *allocation* dies (last handle
+    // released), not when this View handle does — hence the custom deleter.
+    data_ = std::shared_ptr<T[]>(raw, [label = label_, bytes](T* p) {
+      profiling::deallocate_data(layout_space_name<Layout>(), label, p, bytes);
+      delete[] p;
+    });
   }
 
   void compute_strides() {

@@ -1,0 +1,115 @@
+#include "tools/memory_tracker.hpp"
+
+#include <cstdio>
+
+#include "tools/json.hpp"
+
+namespace mlk::tools {
+
+void MemorySpaceTracker::allocate_data(const char* space,
+                                       const std::string& label,
+                                       const void* ptr, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  SpaceStat& s = spaces_[space];
+  s.alloc_count++;
+  s.total_alloc_bytes += bytes;
+  s.live_bytes += bytes;
+  s.live_allocs++;
+  if (s.live_bytes > s.high_water_bytes) s.high_water_bytes = s.live_bytes;
+  live_[ptr] = LiveAlloc{space, label, bytes};
+}
+
+void MemorySpaceTracker::deallocate_data(const char* space,
+                                         const std::string& /*label*/,
+                                         const void* ptr,
+                                         std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(ptr);
+  // Allocations made before this tool was registered die untracked: ignore
+  // them rather than driving live_bytes negative.
+  if (it == live_.end()) return;
+  SpaceStat& s = spaces_[space];
+  s.dealloc_count++;
+  s.live_bytes -= bytes < s.live_bytes ? bytes : s.live_bytes;
+  if (s.live_allocs > 0) s.live_allocs--;
+  live_.erase(it);
+}
+
+void MemorySpaceTracker::finalize() {
+  if (!print_leaks_) return;
+  const auto leaks = live_allocations();
+  if (leaks.empty()) return;
+  std::fprintf(stderr,
+               "# MemorySpaceTracker: %zu allocation(s) still live at "
+               "finalize:\n",
+               leaks.size());
+  for (const auto& l : leaks)
+    std::fprintf(stderr, "#   [%s] %-32s %llu bytes\n", l.space.c_str(),
+                 l.label.c_str(), static_cast<unsigned long long>(l.bytes));
+}
+
+std::map<std::string, MemorySpaceTracker::SpaceStat>
+MemorySpaceTracker::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spaces_;
+}
+
+std::vector<MemorySpaceTracker::LiveAlloc>
+MemorySpaceTracker::live_allocations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LiveAlloc> out;
+  out.reserve(live_.size());
+  for (const auto& [ptr, l] : live_) {
+    (void)ptr;
+    out.push_back(l);
+  }
+  return out;
+}
+
+std::string MemorySpaceTracker::text_report() const {
+  const auto spaces = stats();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-10s %14s %10s %10s %14s %16s\n", "space",
+                "live(bytes)", "allocs", "deallocs", "high-water",
+                "total-alloc'd");
+  out += buf;
+  for (const auto& [name, s] : spaces) {
+    std::snprintf(buf, sizeof buf, "%-10s %14llu %10llu %10llu %14llu %16llu\n",
+                  name.c_str(), (unsigned long long)s.live_bytes,
+                  (unsigned long long)s.alloc_count,
+                  (unsigned long long)s.dealloc_count,
+                  (unsigned long long)s.high_water_bytes,
+                  (unsigned long long)s.total_alloc_bytes);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MemorySpaceTracker::json_fragment() const {
+  const auto spaces = stats();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, s] : spaces) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":{";
+    out += "\"live_bytes\":" + std::to_string(s.live_bytes);
+    out += ",\"live_allocs\":" + std::to_string(s.live_allocs);
+    out += ",\"alloc_count\":" + std::to_string(s.alloc_count);
+    out += ",\"dealloc_count\":" + std::to_string(s.dealloc_count);
+    out += ",\"high_water_bytes\":" + std::to_string(s.high_water_bytes);
+    out += ",\"total_alloc_bytes\":" + std::to_string(s.total_alloc_bytes);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void MemorySpaceTracker::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  spaces_.clear();
+  live_.clear();
+}
+
+}  // namespace mlk::tools

@@ -1,0 +1,63 @@
+// MemorySpaceTracker — a built-in tool accounting View memory per space
+// ("Host" / "Device"): live bytes, allocation/deallocation counts, and the
+// high-water mark, plus a leak report listing allocations still live at
+// finalize. This is the minikokkos analogue of Kokkos Tools' MemoryUsage /
+// MemoryEvents tools, and what the paper's host<->device residency claims
+// (§3.2) are audited with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kokkos/profiling.hpp"
+
+namespace mlk::tools {
+
+class MemorySpaceTracker : public kk::profiling::Tool {
+ public:
+  struct SpaceStat {
+    std::uint64_t live_bytes = 0;
+    std::uint64_t live_allocs = 0;
+    std::uint64_t alloc_count = 0;
+    std::uint64_t dealloc_count = 0;
+    std::uint64_t high_water_bytes = 0;
+    std::uint64_t total_alloc_bytes = 0;
+  };
+
+  struct LiveAlloc {
+    std::string space;
+    std::string label;
+    std::uint64_t bytes = 0;
+  };
+
+  void allocate_data(const char* space, const std::string& label,
+                     const void* ptr, std::uint64_t bytes) override;
+  void deallocate_data(const char* space, const std::string& label,
+                       const void* ptr, std::uint64_t bytes) override;
+
+  /// Prints the leak report to stderr if any tracked allocation is still
+  /// live (and print_leaks is enabled).
+  void finalize() override;
+
+  std::map<std::string, SpaceStat> stats() const;
+  std::vector<LiveAlloc> live_allocations() const;
+
+  /// Human-readable per-space table plus leak list.
+  std::string text_report() const;
+  /// JSON object string: {"Host": {live_bytes, ...}, "Device": {...}}.
+  std::string json_fragment() const;
+
+  void set_print_leaks(bool on) { print_leaks_ = on; }
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SpaceStat> spaces_;
+  std::map<const void*, LiveAlloc> live_;
+  bool print_leaks_ = true;
+};
+
+}  // namespace mlk::tools

@@ -1,0 +1,95 @@
+#include "tools/observability.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "tools/chrome_trace.hpp"
+#include "tools/json.hpp"
+
+namespace mlk::tools {
+
+namespace {
+
+// Emits the combined kernels+memory report when the tool set registered by
+// MLK_PROFILE is flushed at process exit. Registered after the two
+// collecting tools so its finalize() sees their final state.
+class EnvProfileDump : public kk::profiling::Tool {
+ public:
+  EnvProfileDump(std::string path, std::shared_ptr<KernelTimer> timer,
+                 std::shared_ptr<MemorySpaceTracker> mem)
+      : path_(std::move(path)),
+        timer_(std::move(timer)),
+        mem_(std::move(mem)) {}
+
+  void finalize() override {
+    if (path_ == "-") {
+      std::fputs(timer_->text_report().c_str(), stderr);
+      std::fputs(mem_->text_report().c_str(), stderr);
+    } else {
+      write_profile_json(path_, *timer_, *mem_);
+      // Per-rank kernel timings when simmpi ranks ran (path.rank<r>).
+      for (const int tag : timer_->tags()) {
+        std::ofstream f(path_ + ".rank" + std::to_string(tag));
+        f << "{\"kernels\":" << timer_json_for_tag(tag) << "}\n";
+      }
+    }
+  }
+
+ private:
+  std::string timer_json_for_tag(int tag) const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, s] : timer_->stats_for_tag(tag)) {
+      if (!first) out += ",";
+      first = false;
+      out += json::quote(name) + ":{\"count\":" + std::to_string(s.count) +
+             ",\"total_s\":" + json::num(s.total_s) +
+             ",\"min_s\":" + json::num(s.min_s) +
+             ",\"max_s\":" + json::num(s.max_s) +
+             ",\"mean_s\":" + json::num(s.mean_s()) +
+             ",\"items_per_s\":" + json::num(s.items_per_s()) + "}";
+    }
+    return out + "}";
+  }
+
+  std::string path_;
+  std::shared_ptr<KernelTimer> timer_;
+  std::shared_ptr<MemorySpaceTracker> mem_;
+};
+
+}  // namespace
+
+void init_from_env() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+
+  if (const char* p = std::getenv("MLK_PROFILE")) {
+    const std::string val(p);
+    if (!val.empty() && val != "0" && val != "off") {
+      auto timer = std::make_shared<KernelTimer>();
+      auto mem = std::make_shared<MemorySpaceTracker>();
+      kk::profiling::register_tool(timer);
+      kk::profiling::register_tool(mem);
+      kk::profiling::register_tool(std::make_shared<EnvProfileDump>(
+          val == "1" || val == "on" ? "-" : val, std::move(timer),
+          std::move(mem)));
+    }
+  }
+
+  if (const char* t = std::getenv("MLK_TRACE")) {
+    const std::string val(t);
+    if (!val.empty() && val != "0" && val != "off")
+      kk::profiling::register_tool(std::make_shared<ChromeTrace>(val));
+  }
+}
+
+void write_profile_json(const std::string& path, const KernelTimer& timer,
+                        const MemorySpaceTracker& mem) {
+  std::ofstream f(path);
+  f << "{\"kernels\":" << timer.json_fragment()
+    << ",\"memory\":" << mem.json_fragment() << "}\n";
+}
+
+}  // namespace mlk::tools

@@ -1,0 +1,32 @@
+// Observability wiring: environment-variable activation of the built-in
+// profiling tools and the combined profile report used by the `profile dump`
+// input command.
+//
+//   MLK_PROFILE=1|on      register KernelTimer + MemorySpaceTracker; text
+//                         report to stderr at process exit
+//   MLK_PROFILE=<path>    same, but dump JSON to <path> at exit (plus
+//                         <path>.rank<r> per simmpi rank when ranks ran)
+//   MLK_TRACE=<path>      register ChromeTrace; write chrome://tracing JSON
+//                         to <path> at exit (plus <path>.rank<r> per rank)
+//
+// Tools registered here are global (they observe every Simulation in the
+// process) and are flushed by kk::profiling::finalize_tools() via atexit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tools/kernel_timer.hpp"
+#include "tools/memory_tracker.hpp"
+
+namespace mlk::tools {
+
+/// Read MLK_PROFILE / MLK_TRACE and register the corresponding tools.
+/// Idempotent; called from mlk::init_all().
+void init_from_env();
+
+/// Write the combined {"kernels": ..., "memory": ...} profile report.
+void write_profile_json(const std::string& path, const KernelTimer& timer,
+                        const MemorySpaceTracker& mem);
+
+}  // namespace mlk::tools

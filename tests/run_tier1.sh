@@ -4,6 +4,8 @@
 #   tests/run_tier1.sh            # RelWithDebInfo build in build/
 #   tests/run_tier1.sh --asan     # AddressSanitizer build in build-asan/
 #   tests/run_tier1.sh --filter 'BitwiseResume.*'   # subset via gtest filter
+#   tests/run_tier1.sh --profile  # observability smoke: traced melt run,
+#                                 # trace JSON validated with validate_trace
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -12,6 +14,7 @@ repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo/build"
 cmake_args=()
 gtest_filter=""
+profile_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -24,6 +27,10 @@ while [[ $# -gt 0 ]]; do
       gtest_filter="$2"
       shift 2
       ;;
+    --profile)
+      profile_smoke=1
+      shift
+      ;;
     *)
       cmake_args+=("$1")
       shift
@@ -34,7 +41,18 @@ done
 cmake -B "$build_dir" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 
-if [[ -n "$gtest_filter" ]]; then
+if [[ "$profile_smoke" == 1 ]]; then
+  # Run the melt example with the env-var trace hook enabled, then check the
+  # emitted chrome://tracing file contains kernel spans, Verlet-phase region
+  # spans, and at least one deep copy.
+  scratch="$(mktemp -d)"
+  trap 'rm -rf "$scratch"' EXIT
+  (cd "$scratch" &&
+   MLK_TRACE="$scratch/melt.trace.json" \
+     "$build_dir/examples/run_script" "$repo/examples/in.melt")
+  "$build_dir/tests/validate_trace" "$scratch/melt.trace.json"
+  echo "profile smoke: OK"
+elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else
   ctest --test-dir "$build_dir" --output-on-failure

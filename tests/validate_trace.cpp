@@ -1,0 +1,57 @@
+// validate_trace <trace.json> — tier-1 smoke checker for chrome://tracing
+// output (run_tier1.sh --profile). Exits 0 iff the file parses as JSON and
+// the traceEvents array contains kernel spans, Verlet-phase region spans,
+// and at least one deep-copy span — the observable contract of the
+// profiling hook layer on a real run.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: validate_trace <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "validate_trace: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  mlk::json::Value doc;
+  try {
+    doc = mlk::json::parse(ss.str());
+  } catch (const mlk::json::ParseError& e) {
+    std::fprintf(stderr, "validate_trace: %s\n", e.what());
+    return 1;
+  }
+
+  const mlk::json::Value& events = doc["traceEvents"];
+  if (!events.is_array() || events.arr.empty()) {
+    std::fprintf(stderr, "validate_trace: traceEvents missing or empty\n");
+    return 1;
+  }
+
+  int kernels = 0, verlet_regions = 0, deep_copies = 0;
+  for (const auto& e : events.arr) {
+    const std::string& cat = e["cat"].str;
+    if (cat.rfind("kernel", 0) == 0) ++kernels;
+    else if (cat == "deep_copy") ++deep_copies;
+    else if (cat == "region" && e["name"].str.rfind("Verlet::", 0) == 0)
+      ++verlet_regions;
+  }
+
+  std::printf("validate_trace: %zu events (%d kernel, %d Verlet region, "
+              "%d deep_copy)\n",
+              events.arr.size(), kernels, verlet_regions, deep_copies);
+  if (kernels == 0 || verlet_regions == 0 || deep_copies == 0) {
+    std::fprintf(stderr, "validate_trace: missing required span kinds\n");
+    return 1;
+  }
+  return 0;
+}
