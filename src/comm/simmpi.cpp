@@ -1,6 +1,7 @@
 #include "comm/simmpi.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <thread>
@@ -15,6 +16,19 @@ World::World(int nranks) : nranks_(nranks) {
   for (int r = 0; r < nranks; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   reduce_slots_.resize(std::size_t(nranks));
+  // Optional modelled link from the environment (see set_link).
+  double lat = 0.0, bw = 0.0;
+  if (const char* s = std::getenv("MLK_SIMMPI_LATENCY_US"))
+    lat = std::atof(s) * 1e-6;
+  if (const char* s = std::getenv("MLK_SIMMPI_BW_MBS"))
+    bw = std::atof(s) * 1e6;
+  if (lat > 0.0 || bw > 0.0) set_link(lat, bw);
+}
+
+void World::set_link(double latency_seconds, double bytes_per_second) {
+  link_latency_ = latency_seconds > 0.0 ? latency_seconds : 0.0;
+  link_sec_per_byte_ =
+      bytes_per_second > 0.0 ? 1.0 / bytes_per_second : 0.0;
 }
 
 void World::run(const std::function<void(Comm&)>& rank_main) {
@@ -43,9 +57,22 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
 void Comm::send_raw(int dest, int tag, std::vector<char> payload) {
   mlk::require(dest >= 0 && dest < size(), "simmpi: bad destination rank");
   auto& box = *world_.mailboxes_[std::size_t(dest)];
+  World::Message msg{tag, std::move(payload), {}};
+  // Modelled wire: the message materializes at the receiver only after the
+  // link's latency + serialization time (the sender, like a real NIC posting
+  // a send, does not block).
+  const double wire =
+      world_.link_latency_ +
+      double(msg.payload.size()) * world_.link_sec_per_byte_;
+  if (wire > 0.0) {
+    msg.deliver_at = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(wire));
+  }
   {
     std::lock_guard<std::mutex> lk(box.mu);
-    box.queues[rank_].push_back({tag, std::move(payload)});
+    box.queues[rank_].push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
@@ -60,7 +87,11 @@ std::vector<char> Comm::recv_raw(int src, int tag) {
                            [tag](const World::Message& m) { return m.tag == tag; });
     if (it != q.end()) {
       std::vector<char> payload = std::move(it->payload);
+      const auto deliver_at = it->deliver_at;
       q.erase(it);
+      lk.unlock();  // let other senders post while we sit on the wire
+      if (deliver_at != std::chrono::steady_clock::time_point{})
+        std::this_thread::sleep_until(deliver_at);
       return payload;
     }
     box.cv.wait(lk);

@@ -8,6 +8,7 @@
 // over a fabric, with testable correctness.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -36,12 +37,24 @@ class World {
   /// rank's exception (if any) after all ranks have finished.
   void run(const std::function<void(Comm&)>& rank_main);
 
+  /// Modelled interconnect (DESIGN.md's measurement-vs-modelling split).
+  /// The in-process mailbox has no physical wire, so by default messages
+  /// arrive instantly; with a link set, every point-to-point message is
+  /// delivered `latency + bytes/bandwidth` seconds after the send posts and
+  /// the *receiver* blocks idle until then — emulating a NIC moving bytes
+  /// while compute continues, the time window the comm/compute overlap of
+  /// the Verlet loop hides (docs/EXECUTION_MODEL.md, bench_overlap).
+  /// Self-sends and collectives are unaffected. Also armed by the
+  /// MLK_SIMMPI_LATENCY_US / MLK_SIMMPI_BW_MBS environment variables.
+  void set_link(double latency_seconds, double bytes_per_second);
+
  private:
   friend class Comm;
 
   struct Message {
     int tag;
     std::vector<char> payload;
+    std::chrono::steady_clock::time_point deliver_at{};
   };
 
   struct Mailbox {
@@ -59,6 +72,10 @@ class World {
 
   // Allreduce scratch (one slot per rank, double-buffered by barrier).
   std::vector<std::vector<char>> reduce_slots_;
+
+  // Modelled link: seconds of latency per message + seconds per byte.
+  double link_latency_ = 0.0;
+  double link_sec_per_byte_ = 0.0;
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

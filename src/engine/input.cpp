@@ -126,6 +126,11 @@ void Input::execute(const std::vector<std::string>& words) {
     }
   } else if (cmd == "newton") {
     sim_.newton_override = to_bool(arg(1)) ? 1 : 0;
+  } else if (cmd == "overlap") {
+    // overlap on|off: comm/compute overlap in the Verlet force phase
+    // (docs/EXECUTION_MODEL.md). Takes effect when the pair style supports
+    // the interior/boundary split (full list + atom parallelism).
+    sim_.overlap_enabled = to_bool(arg(1));
   } else if (cmd == "suffix") {
     const std::string& s = arg(1);
     sim_.global_suffix = (s == "off") ? "" : s;

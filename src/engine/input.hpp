@@ -16,6 +16,8 @@
 //   neighbor <skin> bin
 //   neigh_modify [every N] [delay N] [check yes|no]
 //   newton <on|off>
+//   overlap <on|off>                     (comm/compute overlap, see
+//                                         docs/EXECUTION_MODEL.md)
 //   suffix <kk|kk/host|off>
 //   package kokkos [...]                       (accepted for compatibility)
 //   fix <id> all <style> [args...]         (nve[/kk], nvt, langevin[/kk],

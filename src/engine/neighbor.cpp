@@ -139,6 +139,32 @@ void Neighbor::build(const Atom& atom, const Domain& domain) {
   list.k_neighbors.modify<kk::Host>();
   list.k_numneigh.modify<kk::Host>();
 
+  // Pass 3: partition owned rows into interior (no ghost neighbor) and
+  // boundary, enabling the overlapped force phase to start interior work
+  // before the halo exchange lands.
+  list.ninterior = 0;
+  list.nboundary = 0;
+  list.k_interior.realloc(std::size_t(std::max<localint>(nlocal, 1)));
+  list.k_boundary.realloc(std::size_t(std::max<localint>(nlocal, 1)));
+  auto interior = list.k_interior.h_view;
+  auto boundary = list.k_boundary.h_view;
+  for (localint i = 0; i < nlocal; ++i) {
+    bool ghost_free = true;
+    const int nn = num(std::size_t(i));
+    for (int jj = 0; jj < nn; ++jj) {
+      if (neigh(std::size_t(i), std::size_t(jj)) >= nlocal) {
+        ghost_free = false;
+        break;
+      }
+    }
+    if (ghost_free)
+      interior(std::size_t(list.ninterior++)) = i;
+    else
+      boundary(std::size_t(list.nboundary++)) = i;
+  }
+  list.k_interior.modify<kk::Host>();
+  list.k_boundary.modify<kk::Host>();
+
   ++nbuilds;
 }
 

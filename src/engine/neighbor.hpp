@@ -31,6 +31,17 @@ struct NeighborList {
   kk::DualView<int, 2> k_neighbors;  // (inum, maxneighs) local+ghost indices
   kk::DualView<int, 1> k_numneigh;   // (inum)
 
+  // Interior/boundary partition of the owned rows, the basis for the
+  // comm/compute-overlapped force phase (docs/EXECUTION_MODEL.md): an owned
+  // atom is *interior* when every neighbor index is < nlocal, i.e. its force
+  // row is independent of ghost positions and can be computed before (or
+  // while) the halo exchange updates ghosts. All remaining owned atoms are
+  // *boundary*. ninterior + nboundary == inum always.
+  kk::DualView<int, 1> k_interior;  // (ninterior) owned rows, ghost-free
+  kk::DualView<int, 1> k_boundary;  // (nboundary) owned rows touching ghosts
+  localint ninterior = 0;
+  localint nboundary = 0;
+
   /// Total number of stored pairs (bigint: can exceed 2^31 at scale).
   bigint total_pairs() const;
   double avg_neighbors() const;

@@ -12,6 +12,11 @@
 #include "engine/atom.hpp"
 #include "engine/neighbor.hpp"
 #include "io/binary_io.hpp"
+#include "util/error.hpp"
+
+namespace kk {
+class DeviceInstance;
+}
 
 namespace mlk {
 
@@ -38,6 +43,35 @@ class Pair {
 
   /// Compute forces into atom.f; accumulate energy/virial when eflag.
   virtual void compute(Simulation& sim, bool eflag) = 0;
+
+  // --- comm/compute overlap (docs/EXECUTION_MODEL.md) ---
+  /// A style that can split its force kernel into ghost-independent
+  /// *interior* rows and ghost-touching *boundary* rows returns true when
+  /// the given list supports the split; the engine then calls
+  /// compute_interior (asynchronously, before the halo exchange) followed by
+  /// compute_boundary (after ghosts land) instead of compute().
+  virtual bool supports_overlap(const NeighborList& list) const {
+    (void)list;
+    return false;
+  }
+
+  /// Launch the interior force pass on `instance` and return immediately.
+  /// All DualView sync/modify bookkeeping must happen on the calling thread;
+  /// the enqueued task may touch only raw captured views. Only called when
+  /// supports_overlap() returned true.
+  virtual void compute_interior(Simulation& sim, bool eflag,
+                                kk::DeviceInstance& instance) {
+    (void)sim, (void)eflag, (void)instance;
+    require(false, style_name + " does not support overlapped compute");
+  }
+
+  /// Complete the force computation over boundary rows and fold the interior
+  /// tallies into eng_vdwl/virial. Called only after the halo exchange
+  /// finished AND the interior instance was fenced.
+  virtual void compute_boundary(Simulation& sim, bool eflag) {
+    (void)sim, (void)eflag;
+    require(false, style_name + " does not support overlapped compute");
+  }
 
   /// Serialize settings + coefficients into a checkpoint; return true if the
   /// style fully round-trips (a read_restart then needs no pair_style /

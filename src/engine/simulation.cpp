@@ -1,6 +1,7 @@
 #include "engine/simulation.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "io/restart.hpp"
 #include "io/restart_writer.hpp"
@@ -15,6 +16,8 @@ namespace mlk {
 Simulation::Simulation() {
   units = Units::make("lj");
   fault.arm_from_env();
+  if (const char* s = std::getenv("MLK_OVERLAP"))
+    overlap_enabled = std::atoi(s) != 0;
 }
 
 Simulation::~Simulation() {
@@ -95,6 +98,63 @@ void Simulation::setup() {
   rebuild_neighbors();
   compute_forces(/*eflag=*/true);
   setup_done = true;
+}
+
+bool Simulation::overlap_active() const {
+  return overlap_enabled && pair != nullptr &&
+         pair->supports_overlap(neighbor.list);
+}
+
+kk::DeviceInstance& Simulation::instance_compute() {
+  if (!instance_compute_)
+    instance_compute_ = std::make_unique<kk::DeviceInstance>("compute");
+  return *instance_compute_;
+}
+
+kk::DeviceInstance& Simulation::instance_comm() {
+  if (!instance_comm_)
+    instance_comm_ = std::make_unique<kk::DeviceInstance>("comm");
+  return *instance_comm_;
+}
+
+void Simulation::compute_forces_overlap(bool eflag) {
+  kk::profiling::ScopedRegion region("Verlet::force_overlap");
+  kk::DeviceInstance& ic = instance_compute();
+  kk::DeviceInstance& cc = instance_comm();
+
+  // Launch the interior pair kernel asynchronously: interior rows reference
+  // only owned atoms, so they need no ghost data and can run concurrently
+  // with the halo exchange below. All DualView flag bookkeeping happens
+  // inside compute_interior on this thread before the task is enqueued.
+  {
+    ScopedTimer t(timers, "Pair");
+    pair->compute_interior(*this, eflag, ic);
+  }
+
+  // Halo exchange on the comm instance. forward_positions writes only ghost
+  // rows (index >= nlocal) that the interior kernel never reads, so the two
+  // tasks are data-race free. The Comm bucket charges the caller's wait.
+  {
+    ScopedTimer t(timers, "Comm");
+    Atom* a = &atom;
+    CommBrick* c = &comm;
+    cc.enqueue("CommBrick::forward_positions", [a, c] {
+      kk::profiling::ScopedRegion r("CommBrick::forward_positions");
+      c->forward_positions(*a);
+    });
+    cc.fence();
+  }
+
+  // Boundary pass: needs the fresh ghosts AND the interior pass's scatter
+  // done. Fence only the instances this phase launched on — never the
+  // global device — so an unrelated instance (e.g. a tool's) keeps running.
+  {
+    ScopedTimer t(timers, "Pair");
+    ic.fence();
+    pair->compute_boundary(*this, eflag);
+  }
+
+  for (auto& fix : fixes) fix->post_force(*this);
 }
 
 void Simulation::compute_forces(bool eflag) {
@@ -206,17 +266,27 @@ void Verlet::run(bigint nsteps) {
     if (!rebuild && sim.ntimestep % std::max(1, sim.neighbor.every) == 0)
       rebuild = !sim.neighbor.check || sim.neighbor.check_distance(sim.atom);
     if (sim.mpi) rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
-    if (rebuild) {
-      sim.rebuild_neighbors();
-    } else {
-      kk::profiling::ScopedRegion r("Verlet::comm");
-      ScopedTimer t(sim.timers, "Comm");
-      sim.comm.forward_positions(sim.atom);
-    }
-
     const bool thermo_step =
         sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
-    sim.compute_forces(thermo_step || step == nsteps - 1);
+    const bool eflag = thermo_step || step == nsteps - 1;
+
+    if (rebuild) {
+      // Rebuild steps re-communicate ghosts inside rebuild_neighbors; the
+      // force phase has nothing to overlap with.
+      sim.rebuild_neighbors();
+      sim.compute_forces(eflag);
+    } else if (sim.overlap_active()) {
+      // Interior force on one DeviceInstance, halo exchange on another,
+      // boundary force after both fence (docs/EXECUTION_MODEL.md).
+      sim.compute_forces_overlap(eflag);
+    } else {
+      {
+        kk::profiling::ScopedRegion r("Verlet::comm");
+        ScopedTimer t(sim.timers, "Comm");
+        sim.comm.forward_positions(sim.atom);
+      }
+      sim.compute_forces(eflag);
+    }
 
     {
       kk::profiling::ScopedRegion r("Verlet::final_integrate");

@@ -18,6 +18,7 @@
 #include "engine/thermo.hpp"
 #include "engine/units.hpp"
 #include "io/fault.hpp"
+#include "kokkos/instance.hpp"
 #include "util/timer.hpp"
 
 namespace mlk {
@@ -57,6 +58,22 @@ class Simulation {
 
   /// Input-script newton override: -1 = use the pair style's preference.
   int newton_override = -1;
+
+  // --- comm/compute overlap (docs/EXECUTION_MODEL.md) ---
+  /// Enabled by the `overlap on` input command or MLK_OVERLAP=1. When the
+  /// pair style also supports the interior/boundary split for the current
+  /// neighbor list, non-rebuild steps launch the interior force pass on one
+  /// DeviceInstance while the halo exchange runs on another.
+  bool overlap_enabled = false;
+
+  /// True when the next force phase will actually take the overlapped path.
+  bool overlap_active() const;
+
+  /// Lazily created execution-space instances: one for asynchronous force
+  /// kernels, one for the halo exchange. Per-Simulation (per-rank), so
+  /// ChromeTrace shows a pair of instance tracks per rank.
+  kk::DeviceInstance& instance_compute();
+  kk::DeviceInstance& instance_comm();
 
   // --- checkpoint/restart (src/io) ---
   /// Periodic checkpointing: every `restart_every` steps the Verlet loop
@@ -112,6 +129,15 @@ class Simulation {
  private:
   friend class Verlet;
   void rebuild_neighbors();
+
+  /// Overlapped force phase for non-rebuild steps: interior pair kernel on
+  /// instance_compute() concurrent with forward_positions on
+  /// instance_comm(); per-instance fences (never a global kk::fence), then
+  /// the boundary pass. Bitwise-identical forces to the serialized path.
+  void compute_forces_overlap(bool eflag);
+
+  std::unique_ptr<kk::DeviceInstance> instance_compute_;
+  std::unique_ptr<kk::DeviceInstance> instance_comm_;
 };
 
 /// Velocity-Verlet driver (LAMMPS's Verlet integrate style).

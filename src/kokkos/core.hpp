@@ -15,15 +15,21 @@
 #include <type_traits>
 #include <vector>
 
+#include "kokkos/instance.hpp"
 #include "kokkos/profiling.hpp"
 #include "kokkos/threadpool.hpp"
 #include "kokkos/view.hpp"
 
 namespace kk {
 
-// Pool dispatches are synchronous; kept for fidelity. Still emits the
-// KokkosP fence event so timeline tools can mark synchronization points.
-inline void fence() { profiling::fence_event("kk::fence"); }
+// Global fence: drains the work queue of every live DeviceInstance.
+// Dispatches without an instance argument are synchronous (the implicit
+// "default instance" fences on return), so with no async instances live
+// this degenerates to the KokkosP fence event alone.
+inline void fence() {
+  DeviceInstance::fence_all();
+  profiling::fence_event("kk::fence");
+}
 
 // ---------------------------------------------------------------------------
 // Policies
@@ -282,6 +288,34 @@ template <class F, class T>
 void parallel_scan(const std::string& name, std::size_t n, const F& f,
                    T& total) {
   parallel_scan(name, RangePolicy<DefaultExecutionSpace>(n), f, total);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous dispatch onto a DeviceInstance. The functor and policy are
+// copied into the task (Kokkos capture-by-value semantics); the call returns
+// immediately and the kernel runs on the instance's stream thread in
+// submission order. Reduction results are written through the caller's
+// reference when the task executes — read them only after instance.fence().
+// ---------------------------------------------------------------------------
+
+template <class Space, class F>
+void parallel_for(DeviceInstance& instance, const std::string& name,
+                  RangePolicy<Space> p, const F& f) {
+  instance.enqueue(name, [name, p, f] { parallel_for(name, p, f); });
+}
+
+template <class F>
+void parallel_for(DeviceInstance& instance, const std::string& name,
+                  std::size_t n, const F& f) {
+  parallel_for(instance, name, RangePolicy<DefaultExecutionSpace>(n), f);
+}
+
+template <class Space, class F, class T>
+void parallel_reduce(DeviceInstance& instance, const std::string& name,
+                     RangePolicy<Space> p, const F& f, T& sum) {
+  T* out = &sum;
+  instance.enqueue(name,
+                   [name, p, f, out] { parallel_reduce(name, p, f, *out); });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,147 @@
+#include "kokkos/instance.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "kokkos/profiling.hpp"
+
+namespace kk {
+
+namespace {
+
+std::atomic<int> g_next_instance_id{0};
+
+// Registry of live instances, consumed by fence_all() (the global
+// kk::fence()). Leaked like the profiling registries so ordering against
+// static destructors is never an issue.
+struct InstanceRegistry {
+  std::mutex mu;
+  std::vector<DeviceInstance*> live;
+};
+
+InstanceRegistry& registry() {
+  static InstanceRegistry* r = new InstanceRegistry;
+  return *r;
+}
+
+void registry_add(DeviceInstance* inst) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.live.push_back(inst);
+}
+
+void registry_remove(DeviceInstance* inst) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::erase(r.live, inst);
+}
+
+}  // namespace
+
+DeviceInstance::DeviceInstance(std::string label)
+    : id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+      name_("instance-" + std::to_string(id_) +
+            (label.empty() ? "" : ":" + label)) {
+  registry_add(this);
+  stream_ = std::thread([this] { stream_loop(); });
+}
+
+DeviceInstance::~DeviceInstance() {
+  // Drain, but never throw from a destructor: a deferred task exception
+  // that nobody fenced for is reported and dropped.
+  try {
+    fence();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: dropped task exception at destruction: %s\n",
+                 name_.c_str(), e.what());
+  } catch (...) {
+    std::fprintf(stderr, "%s: dropped task exception at destruction\n",
+                 name_.c_str());
+  }
+  registry_remove(this);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  stream_.join();
+}
+
+void DeviceInstance::enqueue(std::string label, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(
+        Task{std::move(label), std::move(task), profiling::thread_tag()});
+  }
+  cv_work_.notify_one();
+}
+
+void DeviceInstance::fence() {
+  profiling::fence_event("DeviceInstance[" + name_ + "]::fence");
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && !running_task_; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool DeviceInstance::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.empty() && !running_task_;
+}
+
+std::uint64_t DeviceInstance::tasks_completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return completed_;
+}
+
+void DeviceInstance::fence_all() {
+  // Holding the registry lock during the fences also blocks instance
+  // destruction mid-iteration; instance fences cannot re-enter fence_all.
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (DeviceInstance* inst : r.live) inst->fence();
+}
+
+int DeviceInstance::live_count() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return int(r.live.size());
+}
+
+void DeviceInstance::stream_loop() {
+  profiling::set_thread_name(name_);
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_task_ = true;
+    }
+    // Carry the submitting thread's simmpi rank tag so profiling tools
+    // attribute this task's events to the right rank.
+    profiling::set_thread_tag(task.tag);
+    std::exception_ptr err;
+    try {
+      task.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    profiling::set_thread_tag(-1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_task_ = false;
+      ++completed_;
+      if (err && !error_) error_ = err;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace kk

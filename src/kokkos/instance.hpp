@@ -1,0 +1,113 @@
+// kk::DeviceInstance — asynchronous execution-space instances (the
+// minikokkos analogue of Kokkos's `Kokkos::Cuda(stream)` / partitioned
+// execution space instances, and the enabling mechanism for the paper's
+// comm/compute overlap in the Verlet loop).
+//
+// Each instance owns a FIFO work queue drained by a dedicated stream thread.
+// Kernels dispatched onto an instance (the `parallel_for(instance, ...)`
+// overloads in core.hpp) enqueue and return immediately; work submitted to
+// the *same* instance executes in submission order, while work on
+// *different* instances executes concurrently. Device kernels still run on
+// the one shared ThreadPool — concurrent instances serialize at the pool's
+// dispatch gate exactly as concurrent CUDA streams serialize on a device's
+// SMs — but a host-side task (e.g. halo packing/exchange) on one instance
+// genuinely overlaps a pool kernel running on another.
+//
+// Fencing rules (see docs/EXECUTION_MODEL.md):
+//   * instance.fence()        — blocks until THIS instance's queue is empty
+//                               and its in-flight task finished; other
+//                               instances are not drained.
+//   * kk::fence()             — drains every live instance (global fence).
+//   * results of an async parallel_reduce are defined only after a fence of
+//     the instance it was submitted to.
+//
+// Profiling integration: the stream thread names itself
+// "instance-<id>[:<label>]" via kk::profiling::set_thread_name, so
+// ChromeTrace renders one timeline track per instance; fences emit
+// KokkosP-style fence events carrying the instance name. The simmpi rank
+// tag of the enqueuing thread is captured per task and applied while it
+// runs, so per-rank trace scoping survives asynchronous execution.
+//
+// Error model: an exception escaping a task is captured; the next fence()
+// on that instance rethrows it (subsequent queued tasks still run).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace kk {
+
+class DeviceInstance {
+ public:
+  /// Creates the instance and starts its stream thread. `label` is purely
+  /// cosmetic (trace track names, fence events).
+  explicit DeviceInstance(std::string label = "");
+
+  /// Fences (dropping any deferred task exception to stderr), then stops
+  /// and joins the stream thread.
+  ~DeviceInstance();
+
+  DeviceInstance(const DeviceInstance&) = delete;
+  DeviceInstance& operator=(const DeviceInstance&) = delete;
+
+  /// Submit a task; returns immediately. Tasks on one instance run FIFO on
+  /// the stream thread. `label` is recorded for diagnostics only (kernels
+  /// inside the task emit their own profiling events).
+  void enqueue(std::string label, std::function<void()> task);
+
+  /// Block until every task enqueued so far has finished. Rethrows the
+  /// first exception a task raised since the last fence. Emits a
+  /// KokkosP-style fence event ("DeviceInstance[<name>]::fence").
+  void fence();
+
+  /// True when no task is queued or running (racy snapshot; use fence() to
+  /// synchronize).
+  bool idle() const;
+
+  /// Process-unique instance id (0, 1, ... in construction order).
+  int id() const { return id_; }
+
+  /// "instance-<id>" or "instance-<id>:<label>".
+  const std::string& name() const { return name_; }
+
+  /// Tasks fully executed since construction.
+  std::uint64_t tasks_completed() const;
+
+  /// Fence every live instance (the global kk::fence() path). Safe against
+  /// concurrent construction/destruction of instances.
+  static void fence_all();
+
+  /// Number of currently live instances (tests/tools).
+  static int live_count();
+
+ private:
+  struct Task {
+    std::string label;
+    std::function<void()> fn;
+    int tag;  // simmpi rank tag of the enqueuing thread, applied while running
+  };
+
+  void stream_loop();
+
+  const int id_;
+  const std::string name_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // stream thread waits for tasks
+  std::condition_variable cv_idle_;   // fencers wait for drain
+  std::deque<Task> queue_;
+  bool running_task_ = false;
+  bool shutdown_ = false;
+  std::uint64_t completed_ = 0;
+  std::exception_ptr error_;
+
+  std::thread stream_;
+};
+
+}  // namespace kk

@@ -59,6 +59,12 @@ void ThreadPool::parallel(
     return;
   }
 
+  // Top-level dispatches from different threads (e.g. two DeviceInstance
+  // stream threads) serialize here — the pool is one device, so concurrent
+  // instances share it exactly as concurrent CUDA streams share a GPU's SMs.
+  // Without this gate two callers would clobber job_/pending_/epoch_.
+  std::lock_guard<std::mutex> dispatch_lk(dispatch_mu_);
+
   const int nparts = std::min<std::size_t>(std::size_t(size()), n) > 0
                          ? int(std::min<std::size_t>(std::size_t(size()), n))
                          : 1;

@@ -52,6 +52,7 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
+  std::mutex dispatch_mu_;  // serializes concurrent top-level dispatches
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

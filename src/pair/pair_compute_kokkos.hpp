@@ -15,6 +15,16 @@
 //   double cutsq(itype, jtype)
 //   double fpair(rsq, itype, jtype)   — force magnitude divided by r
 //   double evdwl(rsq, itype, jtype)   — pair energy
+//
+// A functor may additionally provide the fused evaluation
+//   double fpair_ev(rsq, itype, jtype, double& evdwl_out)
+// which returns the force magnitude (bitwise-identical to fpair) while
+// computing the pair energy from the shared intermediates in one pass; when
+// present it replaces the separate fpair + evdwl evaluations whenever
+// energy/virial tallies are requested. When they are NOT requested, the
+// kernels below drop the reduction machinery entirely and dispatch a plain
+// parallel_for — the "fuse force+energy, eliminate the separate reduce
+// pass" optimization of the source paper.
 #pragma once
 
 #include <cstddef>
@@ -70,7 +80,16 @@ inline void pair_accumulate(const XView& x, const FAcc& facc,
   const int jtype = type(std::size_t(j));
   if (rsq >= func.cutsq(itype, jtype)) return;
 
-  const double fpair = func.fpair(rsq, itype, jtype);
+  double fpair;
+  double epair = 0.0;
+  if constexpr (requires(double& e) { func.fpair_ev(rsq, itype, jtype, e); }) {
+    // Fused force+energy evaluation sharing the r^-2/r^-6 intermediates.
+    fpair = eflag ? func.fpair_ev(rsq, itype, jtype, epair)
+                  : func.fpair(rsq, itype, jtype);
+  } else {
+    fpair = func.fpair(rsq, itype, jtype);
+    if (eflag) epair = func.evdwl(rsq, itype, jtype);
+  }
   const double fx = dx * fpair, fy = dy * fpair, fz = dz * fpair;
   fxi += fx;
   fyi += fy;
@@ -83,7 +102,7 @@ inline void pair_accumulate(const XView& x, const FAcc& facc,
   if (eflag) {
     const double factor =
         FULL ? 0.5 : ((j < nlocal || NEWTON) ? 1.0 : 0.5);
-    ev.evdwl += factor * func.evdwl(rsq, itype, jtype);
+    ev.evdwl += factor * epair;
     ev.v[0] += factor * dx * fx;
     ev.v[1] += factor * dy * fy;
     ev.v[2] += factor * dz * fz;
@@ -115,24 +134,74 @@ EV pair_compute_atom(const std::string& name, Atom& atom,
   auto facc = fscatter.access();
 
   EV total;
-  kk::parallel_reduce(
-      name, kk::RangePolicy<Space>(0, std::size_t(list.inum)),
-      [=](std::size_t i, EV& ev) {
-        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
-        const int jnum = numneigh(i);
-        for (int jj = 0; jj < jnum; ++jj) {
-          const int j = neigh(i, std::size_t(jj));
-          detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j,
-                                                nlocal, eflag, fxi, fyi, fzi,
-                                                ev);
-        }
-        facc.add(i, 0, fxi);
-        facc.add(i, 1, fyi);
-        facc.add(i, 2, fzi);
-      },
-      total);
+  const auto row = [=](std::size_t i, EV& ev) {
+    double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+    const int jnum = numneigh(i);
+    for (int jj = 0; jj < jnum; ++jj) {
+      const int j = neigh(i, std::size_t(jj));
+      detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
+                                            eflag, fxi, fyi, fzi, ev);
+    }
+    facc.add(i, 0, fxi);
+    facc.add(i, 1, fyi);
+    facc.add(i, 2, fzi);
+  };
+  if (eflag) {
+    kk::parallel_reduce(name, kk::RangePolicy<Space>(0, std::size_t(list.inum)),
+                        row, total);
+  } else {
+    // No tallies requested: plain parallel_for, no reduction machinery.
+    kk::parallel_for(name, kk::RangePolicy<Space>(0, std::size_t(list.inum)),
+                     [=](std::size_t i) {
+                       EV unused;
+                       row(i, unused);
+                     });
+  }
   fscatter.contribute();
   atom.modified<Space>(F_MASK);
+  return total;
+}
+
+/// Atom-parallel kernel over an explicit sublist of owned rows, operating on
+/// raw pre-synced views. Performs NO DualView sync/modify bookkeeping — the
+/// caller orchestrates flags on its own thread — which makes this variant
+/// safe to run inside an asynchronous kk::DeviceInstance task (the
+/// comm/compute-overlapped force phase, docs/EXECUTION_MODEL.md). Returns
+/// the energy/virial contribution of the sublist rows.
+template <class Space, bool FULL, bool NEWTON, class XView, class FView,
+          class TView, class NeighView, class NumView, class SubView,
+          class Functor>
+EV pair_compute_sublist_views(const std::string& name, const XView& x,
+                              const FView& f, const TView& type,
+                              const NeighView& neigh, const NumView& numneigh,
+                              const SubView& sublist, std::size_t nsub,
+                              localint nlocal, const Functor& func,
+                              kk::ScatterMode scatter, bool eflag) {
+  kk::ScatterView<double, 2, Space> fscatter(f, scatter);
+  auto facc = fscatter.access();
+  EV total;
+  const auto row = [=](std::size_t s, EV& ev) {
+    const std::size_t i = std::size_t(sublist(s));
+    double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+    const int jnum = numneigh(i);
+    for (int jj = 0; jj < jnum; ++jj) {
+      const int j = neigh(i, std::size_t(jj));
+      detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
+                                            eflag, fxi, fyi, fzi, ev);
+    }
+    facc.add(i, 0, fxi);
+    facc.add(i, 1, fyi);
+    facc.add(i, 2, fzi);
+  };
+  if (eflag) {
+    kk::parallel_reduce(name, kk::RangePolicy<Space>(0, nsub), row, total);
+  } else {
+    kk::parallel_for(name, kk::RangePolicy<Space>(0, nsub), [=](std::size_t s) {
+      EV unused;
+      row(s, unused);
+    });
+  }
+  fscatter.contribute();
   return total;
 }
 

@@ -2,6 +2,7 @@
 
 #include "engine/simulation.hpp"
 #include "engine/style_registry.hpp"
+#include "kokkos/instance.hpp"
 
 namespace mlk {
 
@@ -46,6 +47,81 @@ void PairLJCutKokkos<Space>::compute(Simulation& sim, bool eflag) {
   eng_vdwl = ev.evdwl;
   eng_coul = ev.ecoul;
   for (int k = 0; k < 6; ++k) virial[k] = ev.v[k];
+}
+
+template <class Space>
+bool PairLJCutKokkos<Space>::supports_overlap(const NeighborList& list) const {
+  // The split needs a full list computed atom-parallel: each owned row's
+  // force is then one complete accumulation independent of every other row,
+  // so interior rows started before the halo exchange produce bitwise the
+  // same forces as the fused kernel. Half lists fold ghost forces back and
+  // cannot start early.
+  return list.style == NeighStyle::Full &&
+         cfg_.parallelism == PairParallelism::Atom && !needs_reverse_comm;
+}
+
+template <class Space>
+void PairLJCutKokkos<Space>::compute_interior(Simulation& sim, bool eflag,
+                                              kk::DeviceInstance& instance) {
+  reset_accumulators();
+  cfg_.eflag = eflag;
+  ev_interior_ = EV{};
+
+  Atom& atom = sim.atom;
+  NeighborList& l = sim.neighbor.list;
+  // All DualView flag bookkeeping happens here on the caller thread; the
+  // async task below touches only the raw views captured after the syncs
+  // (docs/EXECUTION_MODEL.md: "flags stay on the submitting thread").
+  atom.zero_forces<Space>();
+  atom.sync<Space>(X_MASK | TYPE_MASK | F_MASK);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+  l.k_interior.sync<Space>();
+
+  const auto x = atom.k_x.template view<Space>();
+  const auto f = atom.k_f.template view<Space>();
+  const auto type = atom.k_type.template view<Space>();
+  const auto neigh = l.k_neighbors.template view<Space>();
+  const auto numneigh = l.k_numneigh.template view<Space>();
+  const auto interior = l.k_interior.template view<Space>();
+  const localint nlocal = atom.nlocal;
+  const std::size_t nsub = std::size_t(l.ninterior);
+  const LJFunctor func = functor_;
+  const kk::ScatterMode scatter = cfg_.scatter;
+  EV* out = &ev_interior_;
+
+  const std::string name =
+      std::string("PairComputeLJCut<") + Space::name() + ">::interior";
+  instance.enqueue(name, [=] {
+    *out = pair_compute_sublist_views<Space, true, false>(
+        name, x, f, type, neigh, numneigh, interior, nsub, nlocal, func,
+        scatter, eflag);
+  });
+  atom.template modified<Space>(F_MASK);
+}
+
+template <class Space>
+void PairLJCutKokkos<Space>::compute_boundary(Simulation& sim, bool eflag) {
+  Atom& atom = sim.atom;
+  NeighborList& l = sim.neighbor.list;
+  atom.sync<Space>(X_MASK);  // pick up the freshly exchanged ghost rows
+  l.k_boundary.sync<Space>();
+
+  const EV ev_boundary = pair_compute_sublist_views<Space, true, false>(
+      std::string("PairComputeLJCut<") + Space::name() + ">::boundary",
+      atom.k_x.template view<Space>(), atom.k_f.template view<Space>(),
+      atom.k_type.template view<Space>(),
+      l.k_neighbors.template view<Space>(),
+      l.k_numneigh.template view<Space>(), l.k_boundary.template view<Space>(),
+      std::size_t(l.nboundary), atom.nlocal, functor_, cfg_.scatter, eflag);
+  atom.template modified<Space>(F_MASK);
+
+  // ev_interior_ is defined: the engine fenced the interior instance before
+  // calling compute_boundary.
+  eng_vdwl = ev_interior_.evdwl + ev_boundary.evdwl;
+  eng_coul = ev_interior_.ecoul + ev_boundary.ecoul;
+  for (int k = 0; k < 6; ++k)
+    virial[k] = ev_interior_.v[k] + ev_boundary.v[k];
 }
 
 template class PairLJCutKokkos<kk::Host>;

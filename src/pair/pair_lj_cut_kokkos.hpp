@@ -35,6 +35,20 @@ struct LJFunctor {
     return r6inv * (d_lj3(std::size_t(itype), std::size_t(jtype)) * r6inv -
                     d_lj4(std::size_t(itype), std::size_t(jtype)));
   }
+  /// Fused force+energy evaluation: shares the r^-2/r^-6 intermediates
+  /// between the two results instead of recomputing them per tally. The
+  /// returned force magnitude is the same expression as fpair(), so fused
+  /// and unfused paths produce bitwise-identical forces.
+  double fpair_ev(double rsq, int itype, int jtype, double& evdwl_out) const {
+    const double r2inv = 1.0 / rsq;
+    const double r6inv = r2inv * r2inv * r2inv;
+    evdwl_out = r6inv * (d_lj3(std::size_t(itype), std::size_t(jtype)) * r6inv -
+                         d_lj4(std::size_t(itype), std::size_t(jtype)));
+    return r6inv *
+           (d_lj1(std::size_t(itype), std::size_t(jtype)) * r6inv -
+            d_lj2(std::size_t(itype), std::size_t(jtype))) *
+           r2inv;
+  }
 };
 
 template <class Space>
@@ -44,6 +58,14 @@ class PairLJCutKokkos : public PairLJCut {
 
   void init(Simulation& sim) override;
   void compute(Simulation& sim, bool eflag) override;
+
+  // Comm/compute overlap: interior rows launch asynchronously on a
+  // DeviceInstance while the halo exchange runs; boundary rows finish after
+  // ghosts land (docs/EXECUTION_MODEL.md).
+  bool supports_overlap(const NeighborList& list) const override;
+  void compute_interior(Simulation& sim, bool eflag,
+                        kk::DeviceInstance& instance) override;
+  void compute_boundary(Simulation& sim, bool eflag) override;
 
   NeighStyle neigh_style() const override { return cfg_.neigh; }
   bool newton() const override { return cfg_.newton; }
@@ -60,6 +82,9 @@ class PairLJCutKokkos : public PairLJCut {
  private:
   PairComputeConfig cfg_;
   LJFunctor functor_;
+  // Interior-pass tallies, written by the async task through a captured
+  // pointer; defined once the engine fences the interior instance.
+  EV ev_interior_;
 };
 
 void register_pair_lj_cut_kokkos();

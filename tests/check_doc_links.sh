@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Docs link checker (tier-1): fails on dead *relative* links in the repo's
+# markdown files. External URLs and pure #anchors are skipped; a link's
+# target is resolved against the file that contains it, with any #fragment
+# stripped. Build trees and .git are excluded.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+fail=0
+checked=0
+
+while IFS= read -r -d '' md; do
+  dir="$(dirname "$md")"
+  # Pull out every inline link/image target: the (...) part of [text](...).
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"   # drop fragment
+    path="${path%% *}"     # drop optional "title"
+    [[ -z "$path" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "dead link: ${md#"$repo"/} -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find "$repo" -name '*.md' \
+              -not -path '*/build*' -not -path '*/.git/*' -print0)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_doc_links: FAILED" >&2
+  exit 1
+fi
+echo "check_doc_links: OK ($checked relative links verified)"

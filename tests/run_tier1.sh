@@ -6,6 +6,8 @@
 #   tests/run_tier1.sh --filter 'BitwiseResume.*'   # subset via gtest filter
 #   tests/run_tier1.sh --profile  # observability smoke: traced melt run,
 #                                 # trace JSON validated with validate_trace
+#   tests/run_tier1.sh --overlap  # overlapped-Verlet smoke: traced melt with
+#                                 # `overlap on`, per-instance tracks required
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -15,6 +17,7 @@ build_dir="$repo/build"
 cmake_args=()
 gtest_filter=""
 profile_smoke=0
+overlap_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -29,6 +32,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --profile)
       profile_smoke=1
+      shift
+      ;;
+    --overlap)
+      overlap_smoke=1
       shift
       ;;
     *)
@@ -52,6 +59,18 @@ if [[ "$profile_smoke" == 1 ]]; then
      "$build_dir/examples/run_script" "$repo/examples/in.melt")
   "$build_dir/tests/validate_trace" "$scratch/melt.trace.json"
   echo "profile smoke: OK"
+elif [[ "$overlap_smoke" == 1 ]]; then
+  # Run the melt example through the overlapped Verlet loop with tracing on,
+  # then require the per-instance thread tracks (compute + comm
+  # kk::DeviceInstance) to show up with spans in the trace.
+  scratch="$(mktemp -d)"
+  trap 'rm -rf "$scratch"' EXIT
+  (cd "$scratch" &&
+   MLK_TRACE="$scratch/melt_overlap.trace.json" \
+     "$build_dir/examples/run_script" "$repo/examples/in.melt_overlap")
+  "$build_dir/tests/validate_trace" --require-instance-tracks \
+    "$scratch/melt_overlap.trace.json"
+  echo "overlap smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else

@@ -1,0 +1,179 @@
+// kk::DeviceInstance semantics: FIFO order within an instance, concurrency
+// across instances, per-instance fencing (fence() on one does not drain the
+// other), async dispatch overloads, error propagation, and the global
+// kk::fence() draining every live instance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "kokkos/core.hpp"
+#include "kokkos/instance.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(DeviceInstance, TasksRunFifoOnOneInstance) {
+  kk::DeviceInstance inst("fifo");
+  std::vector<int> order;
+  for (int k = 0; k < 16; ++k)
+    inst.enqueue("task", [&order, k] { order.push_back(k); });
+  inst.fence();
+  ASSERT_EQ(order.size(), 16u);
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(order[std::size_t(k)], k);
+  EXPECT_EQ(inst.tasks_completed(), 16u);
+  EXPECT_TRUE(inst.idle());
+}
+
+TEST(DeviceInstance, TwoInstancesInterleaveWork) {
+  // a's task blocks until b's task has started: if the two instances did not
+  // run concurrently this would deadlock (guarded by a timeout flag).
+  kk::DeviceInstance a("a"), b("b");
+  std::atomic<bool> b_started{false};
+  std::atomic<bool> a_saw_b{false};
+  a.enqueue("wait-for-b", [&] {
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (!b_started.load() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    a_saw_b = b_started.load();
+  });
+  b.enqueue("signal", [&] { b_started = true; });
+  a.fence();
+  b.fence();
+  EXPECT_TRUE(a_saw_b.load()) << "instance a never observed instance b "
+                                 "running concurrently";
+}
+
+TEST(DeviceInstance, FenceOnOneDoesNotDrainTheOther) {
+  kk::DeviceInstance fast("fast"), slow("slow");
+  std::atomic<bool> release{false};
+  std::atomic<bool> slow_done{false};
+  slow.enqueue("hold", [&] {
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (!release.load() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    slow_done = true;
+  });
+  std::atomic<bool> fast_done{false};
+  fast.enqueue("quick", [&] { fast_done = true; });
+
+  fast.fence();  // must return while slow's task is still held
+  EXPECT_TRUE(fast_done.load());
+  EXPECT_FALSE(slow_done.load())
+      << "fence() on one instance drained the other";
+  EXPECT_FALSE(slow.idle());
+
+  release = true;
+  slow.fence();
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(DeviceInstance, AsyncParallelForMatchesSynchronous) {
+  const std::size_t n = 10000;
+  std::vector<double> async_out(n, 0.0), sync_out(n, 0.0);
+  double* ap = async_out.data();
+  double* sp = sync_out.data();
+
+  kk::parallel_for("sync_fill", n,
+                   [=](std::size_t i) { sp[i] = double(i) * 1.5 + 1.0; });
+  {
+    kk::DeviceInstance inst("for");
+    kk::parallel_for(inst, "async_fill", n,
+                     [=](std::size_t i) { ap[i] = double(i) * 1.5 + 1.0; });
+    inst.fence();
+  }
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(async_out[i], sync_out[i]);
+}
+
+TEST(DeviceInstance, AsyncParallelReduceDefinedAfterFence) {
+  const std::size_t n = 4321;
+  double async_sum = 0.0, sync_sum = 0.0;
+  kk::parallel_reduce(
+      "sync_sum", kk::RangePolicy<kk::DefaultExecutionSpace>(n),
+      [](std::size_t i, double& s) { s += double(i); }, sync_sum);
+
+  kk::DeviceInstance inst("reduce");
+  kk::parallel_reduce(
+      inst, "async_sum", kk::RangePolicy<kk::DefaultExecutionSpace>(n),
+      [](std::size_t i, double& s) { s += double(i); }, async_sum);
+  inst.fence();
+  EXPECT_EQ(async_sum, sync_sum);
+}
+
+TEST(DeviceInstance, SameInstanceTasksAreOrderedAcrossKernels) {
+  // A kernel and a host task on the same instance must serialize: the task
+  // reads what the kernel wrote.
+  const std::size_t n = 2048;
+  std::vector<double> data(n, 0.0);
+  double* p = data.data();
+  double observed = -1.0;
+  kk::DeviceInstance inst("ordered");
+  kk::parallel_for(inst, "fill", n, [=](std::size_t i) { p[i] = 2.0; });
+  inst.enqueue("check", [&observed, p, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += p[i];
+    observed = s;
+  });
+  inst.fence();
+  EXPECT_EQ(observed, 2.0 * double(n));
+}
+
+TEST(DeviceInstance, FenceRethrowsTaskException) {
+  kk::DeviceInstance inst("throws");
+  inst.enqueue("boom", [] { throw std::runtime_error("task failed"); });
+  std::atomic<bool> later_ran{false};
+  inst.enqueue("after", [&] { later_ran = true; });
+  EXPECT_THROW(inst.fence(), std::runtime_error);
+  EXPECT_TRUE(later_ran.load()) << "tasks after a throwing task must run";
+  inst.fence();  // error consumed by the first fence
+}
+
+TEST(DeviceInstance, GlobalFenceDrainsAllInstances) {
+  kk::DeviceInstance a("ga"), b("gb");
+  std::atomic<int> done{0};
+  for (int k = 0; k < 8; ++k) {
+    a.enqueue("t", [&] { ++done; });
+    b.enqueue("t", [&] { ++done; });
+  }
+  kk::fence();
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_TRUE(a.idle());
+  EXPECT_TRUE(b.idle());
+}
+
+TEST(DeviceInstance, LiveCountTracksConstructionAndDestruction) {
+  const int base = kk::DeviceInstance::live_count();
+  {
+    kk::DeviceInstance x;
+    EXPECT_EQ(kk::DeviceInstance::live_count(), base + 1);
+    EXPECT_EQ(x.name(), "instance-" + std::to_string(x.id()));
+  }
+  EXPECT_EQ(kk::DeviceInstance::live_count(), base);
+}
+
+TEST(DeviceInstance, ConcurrentKernelDispatchIsSafe) {
+  // Two instances dispatching pool kernels at the same time must serialize
+  // at the pool's dispatch gate, not corrupt each other's job state.
+  const std::size_t n = 50000;
+  std::vector<double> va(n, 0.0), vb(n, 0.0);
+  double* pa = va.data();
+  double* pb = vb.data();
+  kk::DeviceInstance a("ka"), b("kb");
+  for (int rep = 0; rep < 5; ++rep) {
+    kk::parallel_for(a, "stream_a", n,
+                     [=](std::size_t i) { pa[i] += 1.0; });
+    kk::parallel_for(b, "stream_b", n,
+                     [=](std::size_t i) { pb[i] += 2.0; });
+  }
+  a.fence();
+  b.fence();
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(va[i], 5.0);
+    ASSERT_EQ(vb[i], 10.0);
+  }
+}
+
+}  // namespace

@@ -1,23 +1,41 @@
 // validate_trace <trace.json> — tier-1 smoke checker for chrome://tracing
-// output (run_tier1.sh --profile). Exits 0 iff the file parses as JSON and
-// the traceEvents array contains kernel spans, Verlet-phase region spans,
-// and at least one deep-copy span — the observable contract of the
-// profiling hook layer on a real run.
+// output (run_tier1.sh --profile / --overlap). Exits 0 iff the file parses
+// as JSON and the traceEvents array contains kernel spans, Verlet-phase
+// region spans, and at least one deep-copy span — the observable contract
+// of the profiling hook layer on a real run.
+//
+// With --require-instance-tracks it additionally demands the per-instance
+// thread tracks produced by the overlapped Verlet loop: at least two
+// "thread_name" metadata entries beginning with "instance-" (the compute
+// and comm kk::DeviceInstance stream threads), with at least one kernel or
+// region span recorded on an instance track.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "tools/json.hpp"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: validate_trace <trace.json>\n");
+  bool require_instances = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-instance-tracks") == 0)
+      require_instances = true;
+    else
+      path = argv[i];
+  }
+  if (!path) {
+    std::fprintf(stderr,
+                 "usage: validate_trace [--require-instance-tracks] "
+                 "<trace.json>\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in.good()) {
-    std::fprintf(stderr, "validate_trace: cannot open '%s'\n", argv[1]);
+    std::fprintf(stderr, "validate_trace: cannot open '%s'\n", path);
     return 1;
   }
   std::ostringstream ss;
@@ -37,20 +55,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Pass 1: map tid -> thread_name from "M" metadata events, and find the
+  // tracks named by kk::DeviceInstance stream threads.
+  std::set<double> instance_tids;
+  for (const auto& e : events.arr) {
+    if (e["ph"].str != "M" || e["name"].str != "thread_name") continue;
+    const std::string& tname = e["args"]["name"].str;
+    if (tname.rfind("instance-", 0) == 0) instance_tids.insert(e["tid"].number);
+  }
+
   int kernels = 0, verlet_regions = 0, deep_copies = 0;
+  int instance_spans = 0;
   for (const auto& e : events.arr) {
     const std::string& cat = e["cat"].str;
     if (cat.rfind("kernel", 0) == 0) ++kernels;
     else if (cat == "deep_copy") ++deep_copies;
     else if (cat == "region" && e["name"].str.rfind("Verlet::", 0) == 0)
       ++verlet_regions;
+    if ((cat.rfind("kernel", 0) == 0 || cat == "region") &&
+        instance_tids.count(e["tid"].number))
+      ++instance_spans;
   }
 
   std::printf("validate_trace: %zu events (%d kernel, %d Verlet region, "
-              "%d deep_copy)\n",
-              events.arr.size(), kernels, verlet_regions, deep_copies);
+              "%d deep_copy, %zu instance tracks, %d instance spans)\n",
+              events.arr.size(), kernels, verlet_regions, deep_copies,
+              instance_tids.size(), instance_spans);
   if (kernels == 0 || verlet_regions == 0 || deep_copies == 0) {
     std::fprintf(stderr, "validate_trace: missing required span kinds\n");
+    return 1;
+  }
+  if (require_instances && (instance_tids.size() < 2 || instance_spans == 0)) {
+    std::fprintf(stderr,
+                 "validate_trace: expected >= 2 'instance-*' thread tracks "
+                 "with spans (overlapped run)\n");
     return 1;
   }
   return 0;
