@@ -3,42 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/neighbor_kokkos.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
 
-namespace {
-
-/// Half-list owned/ghost assignment criterion (newton on): the pair is kept
-/// by the side whose ghost partner is "above" it in z, then y, then x —
-/// LAMMPS's standard tie-breaking so exactly one rank owns each pair.
-inline bool ghost_pair_owned(const kk::View<double, 2, kk::LayoutRight>& x,
-                             localint i, localint j) {
-  const double zi = x(std::size_t(i), 2), zj = x(std::size_t(j), 2);
-  if (zj < zi) return false;
-  if (zj > zi) return true;
-  const double yi = x(std::size_t(i), 1), yj = x(std::size_t(j), 1);
-  if (yj < yi) return false;
-  if (yj > yi) return true;
-  return x(std::size_t(j), 0) >= x(std::size_t(i), 0);
-}
-
-inline bool accept_pair(const kk::View<double, 2, kk::LayoutRight>& x,
-                        localint i, localint j, localint nlocal,
-                        NeighStyle style, bool newton) {
-  if (style == NeighStyle::Full) return j != i;
-  if (j < nlocal) return j > i;
-  // ghost partner
-  if (!newton) return true;
-  return ghost_pair_owned(x, i, j);
-}
-
-}  // namespace
+Neighbor::Neighbor() = default;
+Neighbor::~Neighbor() = default;
 
 bigint NeighborList::total_pairs() const {
+  auto& num = const_cast<NeighborList*>(this)->k_numneigh;
+  num.sync<kk::Host>();
   bigint total = 0;
   for (localint i = 0; i < inum; ++i)
-    total += k_numneigh.h_view(std::size_t(i));
+    total += num.h_view(std::size_t(i));
   return total;
 }
 
@@ -72,7 +50,31 @@ void BinGrid::build(const Atom& atom, const Domain& domain, double cutghost) {
   }
 }
 
+NeighborKokkos& Neighbor::device_builder() {
+  if (!device_builder_) device_builder_ = std::make_unique<NeighborKokkos>();
+  return *device_builder_;
+}
+
+bigint Neighbor::nretries() const {
+  return device_builder_ ? device_builder_->nretries : 0;
+}
+
 void Neighbor::build(const Atom& atom, const Domain& domain) {
+  if (build_path == NeighBuildPath::Device) {
+    NeighborKokkos& nk = device_builder();
+    nk.cutoff = cutoff;
+    nk.skin = skin;
+    nk.style = style;
+    nk.newton = newton;
+    nk.ghost_rows = ghost_rows;
+    nk.build_into(list, atom, domain);
+    ++nbuilds;
+    return;
+  }
+  build_host(atom, domain);
+}
+
+void Neighbor::build_host(const Atom& atom, const Domain& domain) {
   require(cutoff > 0.0, "neighbor cutoff not set");
   const double cutneigh = cutghost();
   const double cutsq = cutneigh * cutneigh;
@@ -85,6 +87,7 @@ void Neighbor::build(const Atom& atom, const Domain& domain) {
   require(!ghost_rows || style == NeighStyle::Full,
           "ghost rows require a full neighbor list");
   const localint nrows = ghost_rows ? atom.nall() : nlocal;
+  const PairAcceptance accept(nlocal, style, newton);
 
   list.style = style;
   list.newton = newton;
@@ -108,7 +111,7 @@ void Neighbor::build(const Atom& atom, const Domain& domain) {
         for (int bz = std::max(0, bc[2] - 1);
              bz <= std::min(grid.nbin[2] - 1, bc[2] + 1); ++bz)
           for (int j : grid.bins[std::size_t(grid.index(bx, by, bz))]) {
-            if (!accept_pair(x, i, j, nlocal, style, newton)) continue;
+            if (!accept(x, i, j)) continue;
             const double dx = xi[0] - x(std::size_t(j), 0);
             const double dy = xi[1] - x(std::size_t(j), 1);
             const double dz = xi[2] - x(std::size_t(j), 2);
@@ -168,6 +171,23 @@ void Neighbor::build(const Atom& atom, const Domain& domain) {
   ++nbuilds;
 }
 
+bool Neighbor::wants_rebuild(bigint step, const Atom& atom) const {
+  const bigint ago = step - last_build;
+  if (ago < bigint(delay)) return false;
+  if (ago % bigint(std::max(1, every)) != 0) return false;
+  if (!check) return true;
+  return check_distance(atom);
+}
+
+void Neighbor::note_dangerous(bigint step) {
+  if (!check) return;
+  // Triggered on the very first step the settings allowed a rebuild: the
+  // atoms were probably past the trigger earlier, while forces were still
+  // being computed from the stale list.
+  const bigint earliest = std::max<bigint>(std::max(1, every), delay);
+  if (step - last_build == earliest) ++ndanger;
+}
+
 bool Neighbor::check_distance(const Atom& atom) const {
   if (xhold_.size() != std::size_t(atom.nlocal) * 3) return true;
   const double trigger = 0.25 * skin * skin;  // (skin/2)^2
@@ -195,18 +215,21 @@ void Neighbor::store_build_positions(const Atom& atom) {
 
 NeighborList brute_force_list(const Atom& atom, const Domain& /*domain*/,
                               double cutoff, NeighStyle style, bool newton,
-                              localint nlocal) {
+                              localint nlocal, bool ghost_rows) {
   const auto x = atom.k_x.h_view;
   const double cutsq = cutoff * cutoff;
+  const PairAcceptance accept(nlocal, style, newton);
+  const localint nrows = ghost_rows ? atom.nall() : nlocal;
   NeighborList out;
   out.style = style;
   out.newton = newton;
   out.inum = nlocal;
+  out.gnum = nrows - nlocal;
 
-  std::vector<std::vector<int>> rows{std::size_t(nlocal)};
-  for (localint i = 0; i < nlocal; ++i) {
+  std::vector<std::vector<int>> rows{std::size_t(std::max<localint>(nrows, 1))};
+  for (localint i = 0; i < nrows; ++i) {
     for (localint j = 0; j < atom.nall(); ++j) {
-      if (!accept_pair(x, i, j, nlocal, style, newton)) continue;
+      if (!accept(x, i, j)) continue;
       const double dx = x(std::size_t(i), 0) - x(std::size_t(j), 0);
       const double dy = x(std::size_t(i), 1) - x(std::size_t(j), 1);
       const double dz = x(std::size_t(i), 2) - x(std::size_t(j), 2);
@@ -214,13 +237,15 @@ NeighborList brute_force_list(const Atom& atom, const Domain& /*domain*/,
         rows[std::size_t(i)].push_back(j);
     }
   }
-  int maxn = 1;
+  // maxneighs is the true max row length (host-build semantics: no floor);
+  // the table itself still allocates at least one column.
+  int maxn = 0;
   for (const auto& r : rows) maxn = std::max(maxn, int(r.size()));
   out.maxneighs = maxn;
-  out.k_neighbors.realloc(std::size_t(std::max<localint>(nlocal, 1)),
-                          std::size_t(maxn));
-  out.k_numneigh.realloc(std::size_t(std::max<localint>(nlocal, 1)));
-  for (localint i = 0; i < nlocal; ++i) {
+  out.k_neighbors.realloc(std::size_t(std::max<localint>(nrows, 1)),
+                          std::size_t(std::max(maxn, 1)));
+  out.k_numneigh.realloc(std::size_t(std::max<localint>(nrows, 1)));
+  for (localint i = 0; i < nrows; ++i) {
     out.k_numneigh.h_view(std::size_t(i)) = int(rows[std::size_t(i)].size());
     for (std::size_t c = 0; c < rows[std::size_t(i)].size(); ++c)
       out.k_neighbors.h_view(std::size_t(i), c) = rows[std::size_t(i)][c];

@@ -8,10 +8,19 @@
 //  * full — every atom lists all neighbors; forces are computed redundantly
 //    for both partners but no write conflicts or reverse comm occur.
 //
+// Two *build paths* produce the same list (docs/NEIGHBOR.md): the serial
+// host build (count-then-fill) and the device-parallel build
+// (single-pass fill with resize-and-retry, src/engine/neighbor_kokkos.*).
+// `Neighbor::build` routes by `build_path`; both paths share the
+// PairAcceptance functor below so their half-list tie-break can never
+// diverge, and both produce bitwise-identical tables.
+//
 // Storage is the 2-D neighbor table of Appendix B: a (natoms x maxneighs)
 // DualView plus a per-atom count, so no flattened index can overflow 32 bits.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "engine/atom.hpp"
@@ -22,27 +31,69 @@ namespace mlk {
 
 enum class NeighStyle { Half, Full };
 
+///// Which builder `Neighbor::build` dispatches to: the serial host build or
+/// the device-parallel NeighborKokkos build. Selected by the
+/// `neighbor style host|device` input command or the MLK_NEIGH env var.
+enum class NeighBuildPath { Host, Device };
+
+class NeighborKokkos;
+
+/// The pair-acceptance rule, shared verbatim by the host binned build, the
+/// device binned build, and the brute-force reference builder so the
+/// half-list tie-break is defined in exactly one place and the builders can
+/// never silently diverge. Templated on the x view so it inlines into both
+/// host (LayoutRight) and device (LayoutLeft) kernels.
+struct PairAcceptance {
+  localint nlocal = 0;
+  bool full = true;
+  bool newton = false;
+
+  PairAcceptance() = default;
+  PairAcceptance(localint nl, NeighStyle style, bool nw)
+      : nlocal(nl), full(style == NeighStyle::Full), newton(nw) {}
+
+  template <class XView>
+  inline bool operator()(const XView& x, localint i, localint j) const {
+    if (full) return j != i;
+    if (j < nlocal) return j > i;
+    // Owned-ghost pair of a half list. With newton off both ranks keep their
+    // side; with newton on exactly one rank owns the pair: the one whose
+    // ghost partner is "above" it in z, then y, then x (LAMMPS's standard
+    // tie-break).
+    if (!newton) return true;
+    const double zi = x(std::size_t(i), 2), zj = x(std::size_t(j), 2);
+    if (zj < zi) return false;
+    if (zj > zi) return true;
+    const double yi = x(std::size_t(i), 1), yj = x(std::size_t(j), 1);
+    if (yj < yi) return false;
+    if (yj > yi) return true;
+    return x(std::size_t(j), 0) >= x(std::size_t(i), 0);
+  }
+};
+
 struct NeighborList {
   NeighStyle style = NeighStyle::Full;
   bool newton = false;
   localint inum = 0;  // number of owned atoms with rows (== nlocal)
   localint gnum = 0;  // ghost atoms with rows (bonded styles, see ghost_rows)
   int maxneighs = 0;
-  kk::DualView<int, 2> k_neighbors;  // (inum, maxneighs) local+ghost indices
-  kk::DualView<int, 1> k_numneigh;   // (inum)
+  kk::DualView<int, 2> k_neighbors;  // (inum+gnum, maxneighs) neighbor indices
+  kk::DualView<int, 1> k_numneigh;   // (inum+gnum)
 
   // Interior/boundary partition of the owned rows, the basis for the
   // comm/compute-overlapped force phase (docs/EXECUTION_MODEL.md): an owned
   // atom is *interior* when every neighbor index is < nlocal, i.e. its force
   // row is independent of ghost positions and can be computed before (or
   // while) the halo exchange updates ghosts. All remaining owned atoms are
-  // *boundary*. ninterior + nboundary == inum always.
+  // *boundary*. ninterior + nboundary == inum always — both build paths
+  // populate the partition (tier-1 enforced).
   kk::DualView<int, 1> k_interior;  // (ninterior) owned rows, ghost-free
   kk::DualView<int, 1> k_boundary;  // (nboundary) owned rows touching ghosts
   localint ninterior = 0;
   localint nboundary = 0;
 
   /// Total number of stored pairs (bigint: can exceed 2^31 at scale).
+  /// Syncs the counts to host first (the device build writes device-side).
   bigint total_pairs() const;
   double avg_neighbors() const;
 };
@@ -63,13 +114,20 @@ struct BinGrid {
 
 class Neighbor {
  public:
+  Neighbor();
+  ~Neighbor();
+
   double cutoff = 0.0;  // force cutoff (max over pair styles)
   double skin = 0.3;
   NeighStyle style = NeighStyle::Full;
   bool newton = false;
-  int every = 1;    // consider rebuild every N steps
-  int delay = 0;    // never rebuild before N steps since last
+  int every = 1;      // consider rebuild every N steps since last build
+  int delay = 0;      // never rebuild before N steps since last build
   bool check = true;  // only rebuild if an atom moved > skin/2
+
+  /// Host (serial count-then-fill) or Device (parallel resize-and-retry)
+  /// build; both populate `list` identically (docs/NEIGHBOR.md).
+  NeighBuildPath build_path = NeighBuildPath::Host;
 
   /// Also build rows for ghost atoms (full style only). Needed by bonded
   /// potentials (ReaxFF torsions walk bonds of bonded ghosts). Rows of
@@ -79,9 +137,22 @@ class Neighbor {
 
   double cutghost() const { return cutoff + skin; }
 
-  /// (Re)build the list for the current atom/ghost configuration.
-  /// Host-side serial binning; Kokkos styles sync the DualViews to device.
+  /// (Re)build the list for the current atom/ghost configuration, routed
+  /// through the host or device builder per `build_path`.
   void build(const Atom& atom, const Domain& domain);
+
+  /// Rebuild decision for `step` (LAMMPS Neighbor::decide): a rebuild is
+  /// considered only when at least `delay` steps passed since the last build
+  /// and the steps-since-build count is a multiple of `every`; with `check`
+  /// it additionally requires an atom to have moved > skin/2. Pure decision
+  /// — call note_dangerous() once the (globally agreed) rebuild happens.
+  bool wants_rebuild(bigint step, const Atom& atom) const;
+
+  /// Count a dangerous build: the distance check triggered on the *first*
+  /// step `every`/`delay` permitted a rebuild, meaning atoms were likely
+  /// past skin/2 while the stale list was still in use (LAMMPS heuristic).
+  /// Call on every rank with the global rebuild decision so counts agree.
+  void note_dangerous(bigint step);
 
   /// True if any owned atom moved more than skin/2 since the last build.
   bool check_distance(const Atom& atom) const;
@@ -89,16 +160,29 @@ class Neighbor {
   /// Record positions at build time (basis for check_distance).
   void store_build_positions(const Atom& atom);
 
+  /// Device builder (created lazily), exposed for benches/tests that want
+  /// to tweak the fill strategy or inspect retry counters.
+  NeighborKokkos& device_builder();
+
+  /// Resize-and-retry overflow count of the device builder (0 on host path).
+  bigint nretries() const;
+
   NeighborList list;
   bigint nbuilds = 0;
-
+  bigint ndanger = 0;       // dangerous builds (see note_dangerous)
+  bigint last_build = 0;    // timestep of the last build
  private:
+  void build_host(const Atom& atom, const Domain& domain);
+
   std::vector<double> xhold_;  // positions at last build (3*nlocal)
+  std::unique_ptr<NeighborKokkos> device_builder_;
 };
 
-/// Reference O(N^2) list builder used by tests to validate the binned build.
+/// Reference O(N^2) list builder used by tests to validate the binned
+/// builds. With `ghost_rows` it also fills rows for ghost atoms and sets
+/// gnum, mirroring the binned builders.
 NeighborList brute_force_list(const Atom& atom, const Domain& domain,
                               double cutoff, NeighStyle style, bool newton,
-                              localint nlocal);
+                              localint nlocal, bool ghost_rows = false);
 
 }  // namespace mlk

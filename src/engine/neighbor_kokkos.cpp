@@ -1,14 +1,18 @@
 #include "engine/neighbor_kokkos.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "kokkos/core.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
 
-void NeighborKokkos::build(const Atom& atom, const Domain& domain) {
+void NeighborKokkos::build_into(NeighborList& out, const Atom& atom,
+                                const Domain& domain) {
   require(cutoff > 0.0, "neighbor cutoff not set");
+  require(!ghost_rows || style == NeighStyle::Full,
+          "ghost rows require a full neighbor list");
   const double cutneigh = cutghost();
   const double cutsq = cutneigh * cutneigh;
 
@@ -33,14 +37,18 @@ void NeighborKokkos::build(const Atom& atom, const Domain& domain) {
   const_cast<Atom&>(atom).sync<kk::Device>(X_MASK);
   auto x = atom.k_x.d_view;
   const localint nlocal = atom.nlocal;
-  const bool full = style == NeighStyle::Full;
-  const bool newt = newton;
+  const localint nrows = ghost_rows ? atom.nall() : nlocal;
+  const PairAcceptance accept(nlocal, style, newton);
 
   const int nbx = grid.nbin[0], nby = grid.nbin[1], nbz = grid.nbin[2];
   const double glo0 = grid.lo[0], glo1 = grid.lo[1], glo2 = grid.lo[2];
   const double bs0 = grid.binsize[0], bs1 = grid.binsize[1],
                bs2 = grid.binsize[2];
 
+  // Stencil walk shared by both strategies: bins in (bx, by, bz) ascending
+  // order, atoms in bin insertion order — the exact traversal of the host
+  // build, so accepted neighbors land in rows in the same order and the two
+  // builds are bitwise-identical.
   auto visit = [=](localint i, auto&& fn) {
     const double xi0 = x(std::size_t(i), 0);
     const double xi1 = x(std::size_t(i), 1);
@@ -57,20 +65,7 @@ void NeighborKokkos::build(const Atom& atom, const Domain& domain) {
           const int cnt = bin_count(bin);
           for (int k = 0; k < cnt; ++k) {
             const int j = bin_atoms(bin, std::size_t(k));
-            // Pair acceptance (same rules as the host build).
-            if (full) {
-              if (j == i) continue;
-            } else if (j < nlocal) {
-              if (j <= i) continue;
-            } else if (newt) {
-              const double zj = x(std::size_t(j), 2);
-              if (zj < xi2) continue;
-              if (zj == xi2) {
-                const double yj = x(std::size_t(j), 1);
-                if (yj < xi1) continue;
-                if (yj == xi1 && x(std::size_t(j), 0) < xi0) continue;
-              }
-            }
+            if (!accept(x, localint(i), localint(j))) continue;
             const double dx = xi0 - x(std::size_t(j), 0);
             const double dy = xi1 - x(std::size_t(j), 1);
             const double dz = xi2 - x(std::size_t(j), 2);
@@ -79,49 +74,145 @@ void NeighborKokkos::build(const Atom& atom, const Domain& domain) {
         }
   };
 
-  // Pass 1: device-parallel count + max-reduction for row width.
-  kk::View1D<int, kk::Device> counts("neigh::counts",
-                                     std::size_t(std::max<localint>(nlocal, 1)));
-  kk::parallel_for("NeighborKokkos::count",
-                   kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
-                   [=](std::size_t i) {
-                     int c = 0;
-                     visit(localint(i), [&](int) { ++c; });
-                     counts(i) = c;
-                   });
-  int maxn = 0;
-  kk::parallel_reduce_impl(
-      "NeighborKokkos::maxneighs", kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
-      [=](std::size_t i, int& m) {
-        if (counts(i) > m) m = counts(i);
-      },
-      kk::Max<int>(maxn));
-  if (maxn < 1) maxn = 1;
+  out.style = style;
+  out.newton = newton;
+  out.inum = nlocal;
+  out.gnum = nrows - nlocal;
 
-  list.style = style;
-  list.newton = newton;
-  list.inum = nlocal;
-  list.maxneighs = maxn;
-  list.k_neighbors.realloc(std::size_t(std::max<localint>(nlocal, 1)),
-                           std::size_t(maxn));
-  list.k_numneigh.realloc(std::size_t(std::max<localint>(nlocal, 1)));
+  const std::size_t nrows_alloc = std::size_t(std::max<localint>(nrows, 1));
+  out.k_numneigh.realloc(nrows_alloc);
+  auto num = out.k_numneigh.d_view;
 
-  auto neigh = list.k_neighbors.d_view;
-  auto num = list.k_numneigh.d_view;
-
-  // Pass 2: device-parallel fill.
-  kk::parallel_for("NeighborKokkos::fill",
-                   kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
-                   [=](std::size_t i) {
-                     int c = 0;
-                     visit(localint(i), [&](int j) {
-                       neigh(i, std::size_t(c++)) = j;
+  if (strategy == DeviceFillStrategy::CountThenFill) {
+    // Baseline: traverse the stencil twice — once to size the table, once
+    // to fill it. Exact-fit allocation, no retries, double the work.
+    kk::parallel_for("NeighborKokkos::count",
+                     kk::RangePolicy<kk::Device>(0, std::size_t(nrows)),
+                     [=](std::size_t i) {
+                       int c = 0;
+                       visit(localint(i), [&](int) { ++c; });
+                       num(i) = c;
                      });
-                     num(i) = c;
-                   });
+    int maxn = 0;
+    kk::parallel_reduce_impl(
+        "NeighborKokkos::maxneighs",
+        kk::RangePolicy<kk::Device>(0, std::size_t(nrows)),
+        [=](std::size_t i, int& m) {
+          if (num(i) > m) m = num(i);
+        },
+        kk::Max<int>(maxn));
+    if (maxn < 1) maxn = 1;
+    out.maxneighs = maxn;
+    out.k_neighbors.realloc(nrows_alloc, std::size_t(maxn));
+    auto neigh = out.k_neighbors.d_view;
+    kk::parallel_for("NeighborKokkos::fill",
+                     kk::RangePolicy<kk::Device>(0, std::size_t(nrows)),
+                     [=](std::size_t i) {
+                       int c = 0;
+                       visit(localint(i), [&](int j) {
+                         neigh(i, std::size_t(c++)) = j;
+                       });
+                       num(i) = c;
+                     });
+  } else {
+    // Resize-and-retry: one traversal fills rows into a guessed-capacity
+    // table while counting the *full* row length; writes past capacity are
+    // dropped. A max-reduction then detects overflow, and only an
+    // overflowing build regrows the table (with headroom) and repeats the
+    // pass. The high-water capacity survives in maxneighs_hint, so repeated
+    // rebuilds of a quasi-stationary system never retry.
+    int capacity = maxneighs_hint;
+    if (capacity <= 0) {
+      // Cold start: ideal-gas estimate from the local density of the
+      // extended (sub-box + ghost margin) region, plus headroom.
+      double vol = 1.0;
+      for (int d = 0; d < 3; ++d) vol *= grid.hi[d] - grid.lo[d];
+      const double rho = vol > 0.0 ? double(atom.nall()) / vol : 0.0;
+      constexpr double kPi = 3.14159265358979323846;
+      const double est = rho * 4.0 / 3.0 * kPi * cutneigh * cutneigh * cutneigh;
+      capacity = std::max(8, int(est * 1.2) + 1);
+    }
+    for (;;) {
+      out.k_neighbors.realloc(nrows_alloc, std::size_t(capacity));
+      auto neigh = out.k_neighbors.d_view;
+      const int cap = capacity;
+      kk::parallel_for("NeighborKokkos::fill_retry",
+                       kk::RangePolicy<kk::Device>(0, std::size_t(nrows)),
+                       [=](std::size_t i) {
+                         int c = 0;
+                         visit(localint(i), [&](int j) {
+                           if (c < cap) neigh(i, std::size_t(c)) = j;
+                           ++c;
+                         });
+                         num(i) = c;  // full count: overflow detector
+                       });
+      int maxn = 0;
+      kk::parallel_reduce_impl(
+          "NeighborKokkos::overflow_check",
+          kk::RangePolicy<kk::Device>(0, std::size_t(nrows)),
+          [=](std::size_t i, int& m) {
+            if (num(i) > m) m = num(i);
+          },
+          kk::Max<int>(maxn));
+      if (maxn <= capacity) break;
+      ++nretries;
+      // ~12% headroom so steady-state density fluctuations stay under the
+      // high-water mark instead of forcing a retry every few rebuilds.
+      capacity = maxn + (maxn >> 3) + 1;
+    }
+    out.maxneighs = capacity;
+    maxneighs_hint = capacity;
+  }
 
-  list.k_neighbors.modify<kk::Device>();
-  list.k_numneigh.modify<kk::Device>();
+  out.k_neighbors.modify<kk::Device>();
+  out.k_numneigh.modify<kk::Device>();
+
+  // Interior/boundary partition of the owned rows, device-side: flag
+  // ghost-free rows, then a single parallel_scan packs interior rows (scan
+  // rank) and boundary rows (row index minus scan rank) in ascending order —
+  // the same ordering the host build produces.
+  const std::size_t nloc_alloc = std::size_t(std::max<localint>(nlocal, 1));
+  out.k_interior.realloc(nloc_alloc);
+  out.k_boundary.realloc(nloc_alloc);
+  {
+    auto neigh = out.k_neighbors.d_view;
+    kk::View1D<int, kk::Device> ghost_free("neigh::ghost_free", nloc_alloc);
+    kk::parallel_for("NeighborKokkos::flag_interior",
+                     kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
+                     [=](std::size_t i) {
+                       int flag = 1;
+                       const int nn = num(i);
+                       for (int jj = 0; jj < nn; ++jj) {
+                         if (neigh(i, std::size_t(jj)) >= nlocal) {
+                           flag = 0;
+                           break;
+                         }
+                       }
+                       ghost_free(i) = flag;
+                     });
+    auto interior = out.k_interior.d_view;
+    auto boundary = out.k_boundary.d_view;
+    int ninterior = 0;
+    kk::parallel_scan(
+        "NeighborKokkos::partition",
+        kk::RangePolicy<kk::Device>(0, std::size_t(nlocal)),
+        [=](std::size_t i, int& update, bool final) {
+          const int f = ghost_free(i);
+          if (final) {
+            if (f)
+              interior(std::size_t(update)) = int(i);
+            else
+              boundary(i - std::size_t(update)) = int(i);
+          }
+          update += f;
+        },
+        ninterior);
+    out.ninterior = ninterior;
+    out.nboundary = nlocal - ninterior;
+  }
+  out.k_interior.modify<kk::Device>();
+  out.k_boundary.modify<kk::Device>();
+
   ++nbuilds;
 }
 

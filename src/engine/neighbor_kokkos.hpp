@@ -1,14 +1,31 @@
 // Device-parallel neighbor list construction (the KOKKOS-package build).
 //
-// Binning metadata is staged into device-layout Views and the count/fill
-// passes run as device parallel_for over atoms, the one-thread-per-atom
-// pattern of §4.1. Results are written directly into the device copies of
-// the NeighborList DualViews and validated against the host build in tests.
+// Binning metadata is staged into device-layout Views and the fill pass runs
+// as a device parallel_for over atoms, the one-thread-per-atom pattern of
+// §4.1. The default fill strategy is the paper's single-pass
+// *resize-and-retry*: rows are written directly into a table of guessed
+// capacity while full counts accumulate; an end-of-pass max-reduction
+// detects overflow, and only then is the table regrown and the pass
+// repeated. The capacity high-water mark persists across rebuilds
+// (`maxneighs_hint`), so at steady state retries amortize to zero and each
+// rebuild is a single traversal — versus the count-then-fill baseline's
+// guaranteed two (kept selectable for bench_neigh_rebuild's comparison).
+//
+// Results are written into the device copies of the NeighborList DualViews
+// — including the interior/boundary partition (a parallel_scan over a
+// ghost-free flag) and ghost rows — and are bitwise-identical to the host
+// build: both share PairAcceptance and visit bins in the same order, so
+// every row lists the same neighbors in the same order (docs/NEIGHBOR.md).
 #pragma once
 
 #include "engine/neighbor.hpp"
 
 namespace mlk {
+
+/// Fill strategy of the device build. ResizeRetry is the production path;
+/// CountThenFill is the two-traversal baseline kept for the §4.1 strategy
+/// comparison (bench_neigh_rebuild). Both produce identical lists.
+enum class DeviceFillStrategy { ResizeRetry, CountThenFill };
 
 class NeighborKokkos {
  public:
@@ -16,15 +33,34 @@ class NeighborKokkos {
   double skin = 0.3;
   NeighStyle style = NeighStyle::Full;
   bool newton = false;
+  bool ghost_rows = false;
+  DeviceFillStrategy strategy = DeviceFillStrategy::ResizeRetry;
 
   double cutghost() const { return cutoff + skin; }
 
-  /// Build on the Device execution space. On return, the list's device views
-  /// are current and marked modified (host code syncs on demand).
-  void build(const Atom& atom, const Domain& domain);
+  /// Build on the Device execution space into `out`. On return, the list's
+  /// device views are current and marked modified (host code syncs on
+  /// demand). This is the entry point the engine uses, targeting the
+  /// Simulation's own NeighborList so consumers see one list regardless of
+  /// build path.
+  void build_into(NeighborList& out, const Atom& atom, const Domain& domain);
+
+  /// Standalone build into the member list (tests, benches).
+  void build(const Atom& atom, const Domain& domain) {
+    build_into(list, atom, domain);
+  }
 
   NeighborList list;
   bigint nbuilds = 0;
+
+  /// Number of overflow retries across all resize-and-retry builds. After
+  /// warm-up the capacity high-water mark makes additional builds retry-free
+  /// (the acceptance criterion bench_neigh_rebuild measures).
+  bigint nretries = 0;
+
+  /// Row-capacity high-water mark carried across rebuilds (0 = derive the
+  /// first guess from the local density). Reset to re-measure cold builds.
+  int maxneighs_hint = 0;
 };
 
 }  // namespace mlk

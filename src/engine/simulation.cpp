@@ -18,6 +18,17 @@ Simulation::Simulation() {
   fault.arm_from_env();
   if (const char* s = std::getenv("MLK_OVERLAP"))
     overlap_enabled = std::atoi(s) != 0;
+  // MLK_NEIGH=host|device mirrors the `neighbor style` input command, so CI
+  // smokes can flip the build path without editing scripts.
+  if (const char* s = std::getenv("MLK_NEIGH")) {
+    const std::string which(s);
+    if (which == "device")
+      neighbor.build_path = NeighBuildPath::Device;
+    else if (which == "host" || which.empty())
+      neighbor.build_path = NeighBuildPath::Host;
+    else
+      fatal("MLK_NEIGH: expected 'host' or 'device', got '" + which + "'");
+  }
 }
 
 Simulation::~Simulation() {
@@ -71,6 +82,7 @@ void Simulation::rebuild_neighbors() {
   comm.borders(atom, domain);
   neighbor.build(atom, domain);
   neighbor.store_build_positions(atom);
+  neighbor.last_build = ntimestep;  // basis for the every/delay/ago decision
 }
 
 void Simulation::setup() {
@@ -238,6 +250,9 @@ void Verlet::run(bigint nsteps) {
   // The end-of-run breakdown reports this run only: remember what each
   // bucket held when the loop started and subtract at the end.
   const std::map<std::string, double> timers_before = sim.timers.all();
+  const bigint nbuilds_before = sim.neighbor.nbuilds;
+  const bigint ndanger_before = sim.neighbor.ndanger;
+  const bigint nretries_before = sim.neighbor.nretries();
   Timer loop_timer;
 
   for (bigint step = 0; step < nsteps; ++step) {
@@ -262,10 +277,17 @@ void Verlet::run(bigint nsteps) {
 
     // Neighbor list maintenance. The decision must be *global*: if any rank
     // rebuilds (entering the exchange/borders message pattern) all must.
+    // The every/delay gate is identical on all ranks (builds are global, so
+    // `ago` agrees); only the distance check is local and needs the
+    // allreduce. Dangerous builds are counted after the global decision so
+    // every rank's counter matches.
     bool rebuild = checkpoint_step;
-    if (!rebuild && sim.ntimestep % std::max(1, sim.neighbor.every) == 0)
-      rebuild = !sim.neighbor.check || sim.neighbor.check_distance(sim.atom);
-    if (sim.mpi) rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
+    if (!rebuild) {
+      rebuild = sim.neighbor.wants_rebuild(sim.ntimestep, sim.atom);
+      if (sim.mpi)
+        rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
+      if (rebuild) sim.neighbor.note_dangerous(sim.ntimestep);
+    }
     const bool thermo_step =
         sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
     const bool eflag = thermo_step || step == nsteps - 1;
@@ -307,7 +329,13 @@ void Verlet::run(bigint nsteps) {
     }
   }
 
-  sim.thermo.breakdown(sim, loop_timer.seconds(), nsteps, timers_before);
+  NeighSummary neigh;
+  neigh.builds = sim.neighbor.nbuilds - nbuilds_before;
+  neigh.dangerous = sim.neighbor.ndanger - ndanger_before;
+  neigh.retries = sim.neighbor.nretries() - nretries_before;
+  neigh.device = sim.neighbor.build_path == NeighBuildPath::Device;
+  sim.thermo.breakdown(sim, loop_timer.seconds(), nsteps, timers_before,
+                       neigh);
 }
 
 }  // namespace mlk

@@ -29,7 +29,8 @@ void Thermo::record(Simulation& sim) {
 }
 
 void Thermo::breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
-                       const std::map<std::string, double>& before) const {
+                       const std::map<std::string, double>& before,
+                       const NeighSummary& neigh) const {
   const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
   if (!print || !is_rank0 || nsteps <= 0) return;
 
@@ -60,6 +61,17 @@ void Thermo::breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
   }
   std::printf("%-8s | %12.6f | %6.2f%% | %14.6f\n", "Other", other,
               other * pct, other * per_step_ms);
+
+  // LAMMPS-style neighbor maintenance summary. Dangerous builds (the
+  // distance check fired on the first step every/delay allowed) mean the
+  // run computed forces from a stale list — raise `every`/`delay` caution.
+  std::printf("\nNeighbor builds: %lld  dangerous: %lld",
+              static_cast<long long>(neigh.builds),
+              static_cast<long long>(neigh.dangerous));
+  if (neigh.device)
+    std::printf("  device retries: %lld",
+                static_cast<long long>(neigh.retries));
+  std::printf("\n");
 }
 
 }  // namespace mlk

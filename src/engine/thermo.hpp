@@ -22,6 +22,15 @@ struct ThermoRow {
   double press = 0.0;
 };
 
+/// Per-run neighbor-list maintenance counters for the end-of-run summary
+/// (deltas over the run, computed by Verlet::run).
+struct NeighSummary {
+  bigint builds = 0;
+  bigint dangerous = 0;  // see Neighbor::note_dangerous
+  bigint retries = 0;    // device resize-and-retry overflows
+  bool device = false;   // built via the device path (retries meaningful)
+};
+
 class Thermo {
  public:
   bigint every = 100;   // output interval (0 = only first/last)
@@ -32,11 +41,13 @@ class Thermo {
   void record(Simulation& sim);
 
   /// LAMMPS-style end-of-run timing table (Pair/Neigh/Comm/Output/Other:
-  /// seconds, % of loop time, per-step average), printed on rank 0 after
-  /// each `run`. `before` holds the TimerSet totals at loop start so only
-  /// this run's accumulation is reported.
+  /// seconds, % of loop time, per-step average) plus the neighbor-build
+  /// summary (builds / dangerous builds / device retries), printed on rank 0
+  /// after each `run`. `before` holds the TimerSet totals at loop start so
+  /// only this run's accumulation is reported.
   void breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
-                 const std::map<std::string, double>& before) const;
+                 const std::map<std::string, double>& before,
+                 const NeighSummary& neigh = {}) const;
 
   const std::vector<ThermoRow>& rows() const { return rows_; }
   void clear() { rows_.clear(); }

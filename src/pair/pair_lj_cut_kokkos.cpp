@@ -55,9 +55,13 @@ bool PairLJCutKokkos<Space>::supports_overlap(const NeighborList& list) const {
   // force is then one complete accumulation independent of every other row,
   // so interior rows started before the halo exchange produce bitwise the
   // same forces as the fused kernel. Half lists fold ghost forces back and
-  // cannot start early.
+  // cannot start early. The partition must also be *valid* for this list
+  // (ninterior + nboundary == inum): a builder that skipped the partition
+  // would otherwise make the split silently compute forces from stale or
+  // empty row sets.
   return list.style == NeighStyle::Full &&
-         cfg_.parallelism == PairParallelism::Atom && !needs_reverse_comm;
+         cfg_.parallelism == PairParallelism::Atom && !needs_reverse_comm &&
+         list.ninterior + list.nboundary == list.inum;
 }
 
 template <class Space>

@@ -8,6 +8,9 @@
 #                                 # trace JSON validated with validate_trace
 #   tests/run_tier1.sh --overlap  # overlapped-Verlet smoke: traced melt with
 #                                 # `overlap on`, per-instance tracks required
+#   tests/run_tier1.sh --neigh-device  # device neighbor-build smoke: melt
+#                                 # with MLK_NEIGH=device + overlap on, then
+#                                 # the NeighDevice suite (incl. 2 ranks)
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -18,6 +21,7 @@ cmake_args=()
 gtest_filter=""
 profile_smoke=0
 overlap_smoke=0
+neigh_device_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -36,6 +40,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --overlap)
       overlap_smoke=1
+      shift
+      ;;
+    --neigh-device)
+      neigh_device_smoke=1
       shift
       ;;
     *)
@@ -71,6 +79,22 @@ elif [[ "$overlap_smoke" == 1 ]]; then
   "$build_dir/tests/validate_trace" --require-instance-tracks \
     "$scratch/melt_overlap.trace.json"
   echo "overlap smoke: OK"
+elif [[ "$neigh_device_smoke" == 1 ]]; then
+  # Run the overlapped melt example with the device neighbor-build path
+  # (MLK_NEIGH=device, docs/NEIGHBOR.md) and tracing on; the trace must still
+  # show the per-instance tracks — the device-built list feeds the same
+  # overlapped force phase. Then the NeighDevice suite checks the device path
+  # end to end: bitwise host-vs-device trajectories, serial and 2 simmpi
+  # ranks, overlap off and on.
+  scratch="$(mktemp -d)"
+  trap 'rm -rf "$scratch"' EXIT
+  (cd "$scratch" &&
+   MLK_NEIGH=device MLK_TRACE="$scratch/melt_neigh_device.trace.json" \
+     "$build_dir/examples/run_script" "$repo/examples/in.melt_overlap")
+  "$build_dir/tests/validate_trace" --require-instance-tracks \
+    "$scratch/melt_neigh_device.trace.json"
+  "$build_dir/tests/minilmp_tests" --gtest_filter='NeighDevice*'
+  echo "neigh-device smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else

@@ -3,26 +3,59 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "engine/neighbor_kokkos.hpp"
 #include "test_helpers.hpp"
+#include "util/error.hpp"
 
 namespace mlk {
 namespace {
 
 using testing::make_lj_system;
 
-// Canonical multiset of (i, j) entries of a list, for order-independent
-// comparison between builders.
+// Canonical multiset of (i, j) entries of a list — owned and ghost rows —
+// for order-independent comparison between builders.
 std::multiset<std::pair<int, int>> list_pairs(const NeighborList& list) {
   std::multiset<std::pair<int, int>> out;
   auto& l = const_cast<NeighborList&>(list);
   l.k_neighbors.sync<kk::Host>();
   l.k_numneigh.sync<kk::Host>();
-  for (localint i = 0; i < list.inum; ++i)
+  for (localint i = 0; i < list.inum + list.gnum; ++i)
     for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c)
       out.emplace(int(i), l.k_neighbors.h_view(std::size_t(i), std::size_t(c)));
+  return out;
+}
+
+// Row-wise neighbor table with each row sorted, for per-row comparison that
+// is insensitive to within-row ordering (binned vs brute-force traversal).
+std::vector<std::vector<int>> rows_sorted(const NeighborList& list) {
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<kk::Host>();
+  l.k_numneigh.sync<kk::Host>();
+  std::vector<std::vector<int>> out(std::size_t(list.inum + list.gnum));
+  for (localint i = 0; i < list.inum + list.gnum; ++i) {
+    for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c)
+      out[std::size_t(i)].push_back(
+          l.k_neighbors.h_view(std::size_t(i), std::size_t(c)));
+    std::sort(out[std::size_t(i)].begin(), out[std::size_t(i)].end());
+  }
+  return out;
+}
+
+// Exact row-wise table (original order), for the bitwise-order contract
+// between the host and device binned builds.
+std::vector<std::vector<int>> rows_exact(const NeighborList& list) {
+  auto& l = const_cast<NeighborList&>(list);
+  l.k_neighbors.sync<kk::Host>();
+  l.k_numneigh.sync<kk::Host>();
+  std::vector<std::vector<int>> out(std::size_t(list.inum + list.gnum));
+  for (localint i = 0; i < list.inum + list.gnum; ++i)
+    for (int c = 0; c < l.k_numneigh.h_view(std::size_t(i)); ++c)
+      out[std::size_t(i)].push_back(
+          l.k_neighbors.h_view(std::size_t(i), std::size_t(c)));
   return out;
 }
 
@@ -161,6 +194,278 @@ TEST(Neighbor, TwoDTableRowsAreBounded) {
   EXPECT_EQ(l.k_neighbors.extent(1), std::size_t(l.maxneighs));
   for (localint i = 0; i < l.inum; ++i)
     EXPECT_LE(l.k_numneigh.h_view(std::size_t(i)), l.maxneighs);
+}
+
+// --- Host/device/brute-force equivalence sweep (docs/NEIGHBOR.md) --------
+//
+// Sweeps {half, full} x {newton on, off} x {ghost_rows} on a randomized box
+// and checks three contracts at once:
+//  * device rows == host rows *in order* (the bitwise-identity contract),
+//  * both match brute_force_list up to within-row ordering,
+//  * both paths populate the interior/boundary partition identically and
+//    ninterior + nboundary == inum (regression for the stale-partition bug).
+struct EquivCase {
+  NeighStyle style;
+  bool newton;
+  bool ghost_rows;
+};
+
+class NeighborEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(NeighborEquivalence, HostDeviceBruteForceAgree) {
+  const EquivCase p = GetParam();
+  auto sim = make_lj_system(3, 0.8442, 0.08);
+  auto& n = sim->neighbor;
+  n.style = p.style;
+  n.newton = p.newton;
+  n.ghost_rows = p.ghost_rows;
+  n.cutoff = 2.5;
+  sim->comm.cutghost = n.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  n.build_path = NeighBuildPath::Host;
+  n.build(sim->atom, sim->domain);
+  const auto host_rows = rows_exact(n.list);
+  const localint host_gnum = n.list.gnum;
+  const localint host_ninterior = n.list.ninterior;
+  n.list.k_interior.sync<kk::Host>();
+  std::vector<int> host_interior;
+  for (localint i = 0; i < n.list.ninterior; ++i)
+    host_interior.push_back(n.list.k_interior.h_view(std::size_t(i)));
+  ASSERT_EQ(n.list.ninterior + n.list.nboundary, n.list.inum);
+
+  n.build_path = NeighBuildPath::Device;
+  n.build(sim->atom, sim->domain);
+  EXPECT_EQ(n.list.gnum, host_gnum);
+  EXPECT_EQ(rows_exact(n.list), host_rows) << "device rows differ from host";
+
+  // Partition: same size, same members, and it covers every owned row.
+  EXPECT_EQ(n.list.ninterior + n.list.nboundary, n.list.inum);
+  EXPECT_EQ(n.list.ninterior, host_ninterior);
+  n.list.k_interior.sync<kk::Host>();
+  std::vector<int> dev_interior;
+  for (localint i = 0; i < n.list.ninterior; ++i)
+    dev_interior.push_back(n.list.k_interior.h_view(std::size_t(i)));
+  EXPECT_EQ(dev_interior, host_interior);
+
+  auto ref = brute_force_list(sim->atom, sim->domain, n.cutghost(), p.style,
+                              p.newton, sim->atom.nlocal, p.ghost_rows);
+  EXPECT_EQ(ref.gnum, host_gnum);
+  EXPECT_EQ(rows_sorted(n.list), rows_sorted(ref));
+  if (p.ghost_rows) {
+    EXPECT_GT(n.list.gnum, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NeighborEquivalence,
+    ::testing::Values(EquivCase{NeighStyle::Full, false, false},
+                      EquivCase{NeighStyle::Full, true, false},
+                      EquivCase{NeighStyle::Full, false, true},
+                      EquivCase{NeighStyle::Full, true, true},
+                      EquivCase{NeighStyle::Half, false, false},
+                      EquivCase{NeighStyle::Half, true, false}),
+    [](const auto& info) {
+      std::string name =
+          info.param.style == NeighStyle::Full ? "Full" : "Half";
+      name += info.param.newton ? "NewtonOn" : "NewtonOff";
+      if (info.param.ghost_rows) name += "GhostRows";
+      return name;
+    });
+
+TEST(Neighbor, HalfGhostRowsRejectedOnBothPaths) {
+  auto sim = make_lj_system(2, 0.8442, 0.0);
+  auto& n = sim->neighbor;
+  n.style = NeighStyle::Half;
+  n.ghost_rows = true;
+  n.cutoff = 2.5;
+  sim->comm.cutghost = n.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  n.build_path = NeighBuildPath::Host;
+  EXPECT_THROW(n.build(sim->atom, sim->domain), Error);
+  n.build_path = NeighBuildPath::Device;
+  EXPECT_THROW(n.build(sim->atom, sim->domain), Error);
+}
+
+TEST(Neighbor, BruteForceMaxneighsMatchesHostSemantics) {
+  // With a cutoff shorter than the nearest-neighbor distance every row is
+  // empty: both builders must report maxneighs == 0 (true max, no floor)
+  // while still allocating a 1-column table.
+  auto sim = make_lj_system(2, 0.8442, 0.0);
+  auto& n = sim->neighbor;
+  n.cutoff = 0.1;
+  n.skin = 0.05;
+  sim->comm.cutghost = n.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  n.build(sim->atom, sim->domain);
+
+  auto ref = brute_force_list(sim->atom, sim->domain, n.cutghost(),
+                              NeighStyle::Full, false, sim->atom.nlocal);
+  EXPECT_EQ(n.list.maxneighs, 0);
+  EXPECT_EQ(ref.maxneighs, 0);
+  EXPECT_EQ(ref.k_neighbors.extent(1), std::size_t(1));
+  EXPECT_EQ(n.list.total_pairs(), 0);
+  EXPECT_EQ(ref.total_pairs(), 0);
+}
+
+// --- Resize-and-retry (device fill strategy) ------------------------------
+
+TEST(NeighborKokkos, ResizeRetryAmortizesAcrossRebuilds) {
+  auto sim = make_lj_system(3, 0.8442, 0.08);
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  NeighborKokkos nk;
+  nk.cutoff = 2.5;
+  nk.skin = sim->neighbor.skin;
+  nk.style = NeighStyle::Full;
+  nk.build(sim->atom, sim->domain);
+  const bigint cold_retries = nk.nretries;
+  EXPECT_GT(nk.maxneighs_hint, 0);
+
+  // Steady state: the high-water capacity from the first build makes every
+  // later build of the same configuration retry-free.
+  for (int rep = 0; rep < 3; ++rep)
+    nk.build(sim->atom, sim->domain);
+  EXPECT_EQ(nk.nretries, cold_retries);
+  EXPECT_EQ(nk.nbuilds, 4);
+
+  // The hint covers the largest actual row.
+  nk.list.k_numneigh.sync<kk::Host>();
+  int true_max = 0;
+  for (localint i = 0; i < nk.list.inum; ++i)
+    true_max = std::max(true_max, nk.list.k_numneigh.h_view(std::size_t(i)));
+  EXPECT_GE(nk.maxneighs_hint, true_max);
+}
+
+TEST(NeighborKokkos, UndersizedHintRetriesThenRecovers) {
+  auto sim = make_lj_system(3, 0.8442, 0.05);
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  NeighborKokkos nk;
+  nk.cutoff = 2.5;
+  nk.skin = sim->neighbor.skin;
+  nk.style = NeighStyle::Full;
+  nk.maxneighs_hint = 2;  // deliberately far too small
+  nk.build(sim->atom, sim->domain);
+  EXPECT_GE(nk.nretries, 1);
+  EXPECT_GT(nk.maxneighs_hint, 2);
+
+  // Overflow never corrupted the list: it matches the host build.
+  auto& host = sim->neighbor;
+  host.build(sim->atom, sim->domain);
+  EXPECT_EQ(rows_exact(nk.list), rows_exact(host.list));
+
+  const bigint after_cold = nk.nretries;
+  nk.build(sim->atom, sim->domain);
+  EXPECT_EQ(nk.nretries, after_cold);  // grown capacity sticks
+}
+
+TEST(NeighborKokkos, FillStrategiesProduceIdenticalLists) {
+  auto sim = make_lj_system(3, 0.8442, 0.08);
+  sim->neighbor.cutoff = 2.5;
+  sim->comm.cutghost = sim->neighbor.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+
+  NeighborKokkos retry, baseline;
+  for (NeighborKokkos* nk : {&retry, &baseline}) {
+    nk->cutoff = 2.5;
+    nk->skin = sim->neighbor.skin;
+    nk->style = NeighStyle::Half;
+    nk->newton = true;
+  }
+  baseline.strategy = DeviceFillStrategy::CountThenFill;
+  retry.build(sim->atom, sim->domain);
+  baseline.build(sim->atom, sim->domain);
+  EXPECT_EQ(rows_exact(retry.list), rows_exact(baseline.list));
+  EXPECT_EQ(baseline.nretries, 0);  // count-then-fill never retries
+}
+
+// --- Rebuild trigger: every / delay / check + dangerous builds ------------
+
+TEST(Neighbor, WantsRebuildHonorsEveryDelayCheck) {
+  auto sim = make_lj_system(2, 0.8442, 0.0);
+  auto& n = sim->neighbor;
+  n.cutoff = 2.5;
+  sim->comm.cutghost = n.cutghost();
+  sim->comm.borders(sim->atom, sim->domain);
+  n.build(sim->atom, sim->domain);
+  n.store_build_positions(sim->atom);
+  n.last_build = 100;
+
+  // delay gates absolutely, regardless of every/check.
+  n.check = false;
+  n.every = 1;
+  n.delay = 10;
+  EXPECT_FALSE(n.wants_rebuild(105, sim->atom));
+  EXPECT_FALSE(n.wants_rebuild(109, sim->atom));
+  EXPECT_TRUE(n.wants_rebuild(110, sim->atom));
+
+  // every counts steps since the last build, not absolute-step multiples.
+  n.delay = 0;
+  n.every = 4;
+  EXPECT_FALSE(n.wants_rebuild(101, sim->atom));
+  EXPECT_FALSE(n.wants_rebuild(103, sim->atom));
+  EXPECT_TRUE(n.wants_rebuild(104, sim->atom));
+
+  // check: even an allowed step rebuilds only after real motion.
+  n.check = true;
+  n.every = 1;
+  EXPECT_FALSE(n.wants_rebuild(104, sim->atom));
+  auto x = sim->atom.k_x.h_view;
+  x(0, 0) += 0.6 * n.skin;  // > skin/2
+  EXPECT_TRUE(n.wants_rebuild(104, sim->atom));
+}
+
+TEST(Neighbor, DangerousBuildCountedOnlyAtEarliestAllowedStep) {
+  Neighbor n;
+  n.check = true;
+  n.every = 1;
+  n.delay = 5;
+  n.last_build = 100;
+  n.note_dangerous(105);  // fired the first step delay permitted
+  EXPECT_EQ(n.ndanger, 1);
+  n.note_dangerous(107);  // fired later: healthy
+  EXPECT_EQ(n.ndanger, 1);
+
+  n.check = false;  // without check every build is scheduled, never dangerous
+  n.note_dangerous(105);
+  EXPECT_EQ(n.ndanger, 1);
+
+  n.check = true;
+  n.every = 10;
+  n.delay = 0;
+  n.last_build = 200;
+  n.note_dangerous(210);  // first every-multiple
+  EXPECT_EQ(n.ndanger, 2);
+}
+
+TEST(Neighbor, DelayHonoredDuringRun) {
+  // A delay longer than the run must suppress every rebuild after setup.
+  // (Before the fix, `delay` was parsed but never consulted.)
+  auto sim = make_lj_system(3, 0.8442, 0.05);
+  Input in(*sim);
+  in.line("neigh_modify every 1 delay 1000 check yes");
+  in.line("fix 1 all nve");
+  in.line("run 30");
+  EXPECT_EQ(sim->neighbor.nbuilds, 1);  // the setup build only
+  EXPECT_EQ(sim->neighbor.ndanger, 0);
+}
+
+TEST(Neighbor, DangerousBuildsCountedDuringRun) {
+  // Hot system + a delay that forces the list stale: the first allowed
+  // rebuild step must trip the distance check and count as dangerous.
+  auto sim = make_lj_system(3, 0.8442, 0.05, "lj/cut", 3.0);
+  Input in(*sim);
+  in.line("neigh_modify every 1 delay 20 check yes");
+  in.line("fix 1 all nve");
+  in.line("run 60");
+  EXPECT_GT(sim->neighbor.nbuilds, 1);
+  EXPECT_GE(sim->neighbor.ndanger, 1);
 }
 
 TEST(Neighbor, AvgNeighborsMatchesDensityEstimate) {
