@@ -194,7 +194,7 @@ void Simulation::compute_forces(bool eflag) {
   for (auto& fix : fixes) fix->post_force(*this);
 }
 
-void Simulation::run(bigint nsteps) {
+void Simulation::prepare_run() {
   if (!setup_done) setup();
   // Fixes added by the script since the last run still need initializing.
   for (auto& fix : fixes) {
@@ -203,7 +203,20 @@ void Simulation::run(bigint nsteps) {
       fix->init_done = true;
     }
   }
+}
+
+void Simulation::run(bigint nsteps) {
+  prepare_run();
   Verlet(*this).run(nsteps);
+}
+
+void Simulation::finish_external_forces() {
+  if ((neighbor.style == NeighStyle::Half && neighbor.newton) ||
+      pair->needs_reverse_comm) {
+    ScopedTimer tc(timers, "Comm");
+    comm.reverse_forces(atom);
+  }
+  for (auto& fix : fixes) fix->post_force(*this);
 }
 
 double Simulation::kinetic_energy() {
@@ -241,101 +254,126 @@ double Simulation::pressure() {
   return (double(n) * units.boltz * t + vsum / 3.0) / vol * units.nktv2p;
 }
 
-void Verlet::run(bigint nsteps) {
+void Verlet::begin(bigint nsteps) {
   Simulation& sim = sim_;
-  kk::profiling::ScopedRegion loop_region("Verlet::run");
+  nsteps_ = nsteps;
+  step_ = 0;
   sim.thermo.header();
   sim.thermo.record(sim);
 
   // The end-of-run breakdown reports this run only: remember what each
   // bucket held when the loop started and subtract at the end.
-  const std::map<std::string, double> timers_before = sim.timers.all();
-  const bigint nbuilds_before = sim.neighbor.nbuilds;
-  const bigint ndanger_before = sim.neighbor.ndanger;
-  const bigint nretries_before = sim.neighbor.nretries();
-  Timer loop_timer;
+  timers_before_ = sim.timers.all();
+  nbuilds_before_ = sim.neighbor.nbuilds;
+  ndanger_before_ = sim.neighbor.ndanger;
+  nretries_before_ = sim.neighbor.nretries();
+  loop_timer_.start();
+}
 
-  for (bigint step = 0; step < nsteps; ++step) {
-    ++sim.ntimestep;
+Verlet::Phase Verlet::step_begin() {
+  Simulation& sim = sim_;
+  ++sim.ntimestep;
+  ++step_;
 
-    // Periodic checkpoint this step? Decided up front: the write happens at
-    // end of step, but the step must also force a neighbor rebuild so a run
-    // resumed from the file rebuilds the *same* list at setup (the bitwise
-    // guarantee; LAMMPS likewise re-neighbors on restart outputs).
-    const bool checkpoint_step =
-        sim.restart_every > 0 && !sim.restart_base.empty() &&
-        sim.ntimestep % sim.restart_every == 0;
+  Phase p;
+  // Periodic checkpoint this step? Decided up front: the write happens at
+  // end of step, but the step must also force a neighbor rebuild so a run
+  // resumed from the file rebuilds the *same* list at setup (the bitwise
+  // guarantee; LAMMPS likewise re-neighbors on restart outputs).
+  p.checkpoint = sim.restart_every > 0 && !sim.restart_base.empty() &&
+                 sim.ntimestep % sim.restart_every == 0;
 
-    {
-      kk::profiling::ScopedRegion r("Verlet::initial_integrate");
-      for (auto& fix : sim.fixes) fix->initial_integrate(sim);
-    }
-
-    // Fault injection fires here — mid-step, integration half done but
-    // forces/thermo not yet — the worst place a real node can die.
-    sim.fault.maybe_fail(sim.ntimestep);
-
-    // Neighbor list maintenance. The decision must be *global*: if any rank
-    // rebuilds (entering the exchange/borders message pattern) all must.
-    // The every/delay gate is identical on all ranks (builds are global, so
-    // `ago` agrees); only the distance check is local and needs the
-    // allreduce. Dangerous builds are counted after the global decision so
-    // every rank's counter matches.
-    bool rebuild = checkpoint_step;
-    if (!rebuild) {
-      rebuild = sim.neighbor.wants_rebuild(sim.ntimestep, sim.atom);
-      if (sim.mpi)
-        rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
-      if (rebuild) sim.neighbor.note_dangerous(sim.ntimestep);
-    }
-    const bool thermo_step =
-        sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
-    const bool eflag = thermo_step || step == nsteps - 1;
-
-    if (rebuild) {
-      // Rebuild steps re-communicate ghosts inside rebuild_neighbors; the
-      // force phase has nothing to overlap with.
-      sim.rebuild_neighbors();
-      sim.compute_forces(eflag);
-    } else if (sim.overlap_active()) {
-      // Interior force on one DeviceInstance, halo exchange on another,
-      // boundary force after both fence (docs/EXECUTION_MODEL.md).
-      sim.compute_forces_overlap(eflag);
-    } else {
-      {
-        kk::profiling::ScopedRegion r("Verlet::comm");
-        ScopedTimer t(sim.timers, "Comm");
-        sim.comm.forward_positions(sim.atom);
-      }
-      sim.compute_forces(eflag);
-    }
-
-    {
-      kk::profiling::ScopedRegion r("Verlet::final_integrate");
-      for (auto& fix : sim.fixes) fix->final_integrate(sim);
-      for (auto& fix : sim.fixes) fix->end_of_step(sim);
-    }
-
-    if (checkpoint_step) {
-      kk::profiling::ScopedRegion r("Verlet::output");
-      ScopedTimer t(sim.timers, "Output");
-      io::RestartWriter().write(
-          sim, io::checkpoint_base(sim.restart_base, sim.ntimestep));
-    }
-
-    if (thermo_step || step == nsteps - 1) {
-      kk::profiling::ScopedRegion r("Verlet::output");
-      sim.thermo.record(sim);
-    }
+  {
+    kk::profiling::ScopedRegion r("Verlet::initial_integrate");
+    for (auto& fix : sim.fixes) fix->initial_integrate(sim);
   }
 
+  // Fault injection fires here — mid-step, integration half done but
+  // forces/thermo not yet — the worst place a real node can die.
+  sim.fault.maybe_fail(sim.ntimestep);
+
+  // Neighbor list maintenance. The decision must be *global*: if any rank
+  // rebuilds (entering the exchange/borders message pattern) all must.
+  // The every/delay gate is identical on all ranks (builds are global, so
+  // `ago` agrees); only the distance check is local and needs the
+  // allreduce. Dangerous builds are counted after the global decision so
+  // every rank's counter matches.
+  bool rebuild = p.checkpoint;
+  if (!rebuild) {
+    rebuild = sim.neighbor.wants_rebuild(sim.ntimestep, sim.atom);
+    if (sim.mpi) rebuild = sim.mpi->allreduce_max(rebuild ? 1.0 : 0.0) > 0.5;
+    if (rebuild) sim.neighbor.note_dangerous(sim.ntimestep);
+  }
+  p.rebuild = rebuild;
+  const bool thermo_step =
+      sim.thermo.every > 0 && (sim.ntimestep % sim.thermo.every == 0);
+  p.eflag = thermo_step || step_ == nsteps_;
+
+  if (rebuild) {
+    // Rebuild steps re-communicate ghosts inside rebuild_neighbors; the
+    // force phase has nothing to overlap with.
+    sim.rebuild_neighbors();
+  } else if (sim.overlap_active()) {
+    // Ghost forward happens inside the overlapped force phase, concurrent
+    // with the interior pair kernel (docs/EXECUTION_MODEL.md).
+    p.overlap = true;
+  } else {
+    kk::profiling::ScopedRegion r("Verlet::comm");
+    ScopedTimer t(sim.timers, "Comm");
+    sim.comm.forward_positions(sim.atom);
+  }
+  return p;
+}
+
+void Verlet::step_force(const Phase& p) {
+  Simulation& sim = sim_;
+  if (p.overlap)
+    sim.compute_forces_overlap(p.eflag);
+  else
+    sim.compute_forces(p.eflag);
+}
+
+void Verlet::step_end(const Phase& p) {
+  Simulation& sim = sim_;
+  {
+    kk::profiling::ScopedRegion r("Verlet::final_integrate");
+    for (auto& fix : sim.fixes) fix->final_integrate(sim);
+    for (auto& fix : sim.fixes) fix->end_of_step(sim);
+  }
+
+  if (p.checkpoint) {
+    kk::profiling::ScopedRegion r("Verlet::output");
+    ScopedTimer t(sim.timers, "Output");
+    io::RestartWriter().write(
+        sim, io::checkpoint_base(sim.restart_base, sim.ntimestep));
+  }
+
+  if (p.eflag) {
+    kk::profiling::ScopedRegion r("Verlet::output");
+    sim.thermo.record(sim);
+  }
+}
+
+void Verlet::finish() {
+  Simulation& sim = sim_;
   NeighSummary neigh;
-  neigh.builds = sim.neighbor.nbuilds - nbuilds_before;
-  neigh.dangerous = sim.neighbor.ndanger - ndanger_before;
-  neigh.retries = sim.neighbor.nretries() - nretries_before;
+  neigh.builds = sim.neighbor.nbuilds - nbuilds_before_;
+  neigh.dangerous = sim.neighbor.ndanger - ndanger_before_;
+  neigh.retries = sim.neighbor.nretries() - nretries_before_;
   neigh.device = sim.neighbor.build_path == NeighBuildPath::Device;
-  sim.thermo.breakdown(sim, loop_timer.seconds(), nsteps, timers_before,
+  sim.thermo.breakdown(sim, loop_timer_.seconds(), nsteps_, timers_before_,
                        neigh);
+}
+
+void Verlet::run(bigint nsteps) {
+  kk::profiling::ScopedRegion loop_region("Verlet::run");
+  begin(nsteps);
+  while (!done()) {
+    const Phase p = step_begin();
+    step_force(p);
+    step_end(p);
+  }
+  finish();
 }
 
 }  // namespace mlk

@@ -107,12 +107,25 @@ class Simulation {
   /// build ghosts and the first neighbor list, evaluate initial forces.
   void setup();
 
+  /// Everything run() does before entering the Verlet loop: setup() when
+  /// needed plus initialization of fixes added since the last run. The
+  /// phase-driven stepping path (src/server's scheduler) calls this once,
+  /// then drives a Verlet instance phase by phase.
+  void prepare_run();
+
   /// Velocity-Verlet time integration for nsteps (requires setup()).
   void run(bigint nsteps);
 
   /// Evaluate forces for the current configuration (zeroes, pair->compute,
   /// reverse communication when the list exploits Newton's third law).
   void compute_forces(bool eflag);
+
+  /// Force-phase epilogue when the pair kernel itself ran externally — the
+  /// server's cross-job batched dispatch (docs/SERVER.md) computes pair
+  /// forces in a fused launch and then calls this for the tail of
+  /// compute_forces(): reverse force communication when the list needs it,
+  /// then the fixes' post_force hooks.
+  void finish_external_forces();
 
   // --- global diagnostics (allreduced across ranks when mpi is set) ---
   bigint global_natoms();
@@ -141,13 +154,52 @@ class Simulation {
 };
 
 /// Velocity-Verlet driver (LAMMPS's Verlet integrate style).
+///
+/// Two ways to drive it:
+///   * run(nsteps) — the classic single-simulation loop.
+///   * phase by phase — begin(nsteps) once, then
+///       { auto p = step_begin(); step_force(p); step_end(p); }
+///     until done(), then finish(). run() is composed of exactly these
+///     calls, so both drivings produce bitwise-identical trajectories. The
+///     split exists for the batch server (src/server): a scheduler
+///     interleaves the phases of many co-resident Simulations and may
+///     replace step_force with a cross-job fused launch.
 class Verlet {
  public:
   explicit Verlet(Simulation& sim) : sim_(sim) {}
+
+  /// One step's decisions, made once in step_begin and consumed by the
+  /// later phases of the same step.
+  struct Phase {
+    bool rebuild = false;     // neighbor list was rebuilt this step
+    bool overlap = false;     // force phase takes the overlapped path
+    bool eflag = false;       // energy/virial tallies requested
+    bool checkpoint = false;  // periodic restart write at end of step
+  };
+
+  void begin(bigint nsteps);
+  bool done() const { return step_ >= nsteps_; }
+  /// Advance the step counter, decide rebuild/overlap/eflag/checkpoint,
+  /// run the first integration half, and bring ghosts up to date (full
+  /// rebuild or halo forward; the overlapped path defers the forward).
+  Phase step_begin();
+  /// Force evaluation for this step (pair + post_force fixes).
+  void step_force(const Phase& p);
+  /// Second integration half, end_of_step fixes, checkpoint/thermo output.
+  void step_end(const Phase& p);
+  void finish();
+
   void run(bigint nsteps);
 
  private:
   Simulation& sim_;
+  bigint nsteps_ = 0;
+  bigint step_ = 0;
+  std::map<std::string, double> timers_before_;
+  bigint nbuilds_before_ = 0;
+  bigint ndanger_before_ = 0;
+  bigint nretries_before_ = 0;
+  Timer loop_timer_;
 };
 
 }  // namespace mlk

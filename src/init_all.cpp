@@ -1,5 +1,7 @@
 #include "minilammps.hpp"
 
+#include <mutex>
+
 #include "tools/observability.hpp"
 
 namespace mlk {
@@ -26,9 +28,11 @@ void register_compute_snap_bispectrum();
 void register_fix_langevin_kokkos();
 
 void init_all() {
-  static bool done = false;
-  if (done) return;
-  done = true;
+  // call_once, not a bare bool: the batch server constructs Simulations from
+  // multiple threads, and a second thread racing init_all must block until
+  // registration finished rather than proceed against a half-filled registry.
+  static std::once_flag once;
+  std::call_once(once, [] {
   tools::init_from_env();  // MLK_PROFILE / MLK_TRACE observability hooks
   register_fix_nve();
   register_fix_langevin();
@@ -49,6 +53,7 @@ void init_all() {
   register_pair_external();
   register_compute_snap_bispectrum();
   register_fix_langevin_kokkos();
+  });
 }
 
 }  // namespace mlk

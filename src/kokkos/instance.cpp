@@ -112,6 +112,49 @@ int DeviceInstance::live_count() {
   return int(r.live.size());
 }
 
+DeviceInstance& InstancePool::acquire() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      DeviceInstance* inst = free_.back();
+      free_.pop_back();
+      return *inst;
+    }
+  }
+  // Create outside the lock (instance construction spawns a thread). The
+  // label numbers instances by creation order within this pool.
+  auto inst = std::make_unique<DeviceInstance>(label_);
+  DeviceInstance& ref = *inst;
+  std::lock_guard<std::mutex> lk(mu_);
+  all_.push_back(std::move(inst));
+  return ref;
+}
+
+void InstancePool::release(DeviceInstance& inst) {
+  // Fence first: a deferred exception belongs to the releasing job, not to
+  // whoever acquires the instance next. If fence throws, the instance is
+  // clean afterwards (the error slot is consumed), so still return it.
+  struct Return {
+    InstancePool* pool;
+    DeviceInstance* inst;
+    ~Return() {
+      std::lock_guard<std::mutex> lk(pool->mu_);
+      pool->free_.push_back(inst);
+    }
+  } ret{this, &inst};
+  inst.fence();
+}
+
+int InstancePool::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return int(all_.size());
+}
+
+int InstancePool::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return int(free_.size());
+}
+
 void DeviceInstance::stream_loop() {
   profiling::set_thread_name(name_);
   for (;;) {

@@ -37,9 +37,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace kk {
 
@@ -108,6 +110,34 @@ class DeviceInstance {
   std::exception_ptr error_;
 
   std::thread stream_;
+};
+
+/// Pool of reusable DeviceInstances — the batch server's per-job stream
+/// handles (docs/SERVER.md). A stream thread is comparatively expensive to
+/// create and jobs churn, so released instances are fenced and kept for the
+/// next acquirer instead of being destroyed. Thread-safe.
+class InstancePool {
+ public:
+  explicit InstancePool(std::string label = "pool") : label_(std::move(label)) {}
+
+  /// Hand out an idle pooled instance, creating one when none is free.
+  DeviceInstance& acquire();
+
+  /// Fence `inst` — rethrowing any deferred task exception to the caller,
+  /// after which the instance is clean — and return it to the free list.
+  /// `inst` must have come from acquire() on this pool.
+  void release(DeviceInstance& inst);
+
+  /// Instances created over the pool's lifetime.
+  int size() const;
+  /// Instances currently idle in the free list.
+  int available() const;
+
+ private:
+  const std::string label_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<DeviceInstance>> all_;
+  std::vector<DeviceInstance*> free_;
 };
 
 }  // namespace kk

@@ -3,6 +3,7 @@
 #include "engine/simulation.hpp"
 #include "engine/style_registry.hpp"
 #include "kokkos/instance.hpp"
+#include "pair/pair_batch.hpp"
 
 namespace mlk {
 
@@ -126,6 +127,95 @@ void PairLJCutKokkos<Space>::compute_boundary(Simulation& sim, bool eflag) {
   eng_coul = ev_interior_.ecoul + ev_boundary.ecoul;
   for (int k = 0; k < 6; ++k)
     virial[k] = ev_interior_.v[k] + ev_boundary.v[k];
+}
+
+template <class Space>
+std::string PairLJCutKokkos<Space>::batch_signature(const Simulation& sim,
+                                                    bool eflag) const {
+  // Fusable only when the solo path would be a plain parallel_for whose
+  // rows are independent and write just their own atom:
+  //   * no tallies — eflag reductions join per-rank partials in rank order,
+  //     so fusing them would change the summation order vs. solo;
+  //   * full list + atom parallelism — row i accumulates into atom i only
+  //     (pair_accumulate<FULL> never scatters to j), which is what makes
+  //     the fused launch bitwise-identical under any row partitioning;
+  //   * atomic scatter — duplicated/sequential modes assume the launch
+  //     shape the solo kernel would have had;
+  //   * no ghost-force fold-back.
+  if (eflag) return "";
+  if (cfg_.neigh != NeighStyle::Full ||
+      cfg_.parallelism != PairParallelism::Atom ||
+      cfg_.scatter != kk::ScatterMode::Atomic || needs_reverse_comm)
+    return "";
+  if (sim.neighbor.list.style != NeighStyle::Full) return "";
+  // Structural signature: any two LJ jobs in this configuration can share a
+  // launch (coefficients and cutoffs are per-slice captures, not shape).
+  return std::string("pairwise/full/atom/atomic/") + Space::name();
+}
+
+template <class Space>
+void PairLJCutKokkos<Space>::batch_enlist(Simulation& sim, bool eflag,
+                                          PairBatch& batch) {
+  (void)eflag;  // only no-tally steps enlist (batch_signature refuses eflag)
+  reset_accumulators();
+  cfg_.eflag = false;
+
+  Atom& atom = sim.atom;
+  NeighborList& l = sim.neighbor.list;
+  // Same threading contract as compute_interior: every DualView sync runs
+  // here on the calling thread; the fused kernel touches only the raw views
+  // captured below. The solo path syncs F then zeroes it (Atom::zero_forces)
+  // — replicated here by syncing at enlistment and zeroing inside the fused
+  // kernel, so both paths leave bitwise-identical state.
+  atom.template sync<Space>(X_MASK | TYPE_MASK | F_MASK);
+  l.k_neighbors.sync<Space>();
+  l.k_numneigh.sync<Space>();
+
+  const auto x = atom.k_x.template view<Space>();
+  const auto f = atom.k_f.template view<Space>();
+  const auto type = atom.k_type.template view<Space>();
+  const auto neigh = l.k_neighbors.template view<Space>();
+  const auto numneigh = l.k_numneigh.template view<Space>();
+  const localint nlocal = atom.nlocal;
+  const std::size_t nforce = std::size_t(l.inum);
+  const LJFunctor func = functor_;
+
+  // Per-job ScatterView (Atomic: adds land directly in this job's force
+  // array). Heap-owned so it outlives enlistment; the epilogue keeps the
+  // shared_ptr alive through the launch and runs contribute afterwards.
+  auto fscatter = std::make_shared<kk::ScatterView<double, 2, Space>>(
+      f, cfg_.scatter);
+  const auto facc = fscatter->access();
+
+  PairBatch::Slice s;
+  s.label = std::string("PairComputeLJCut<") + Space::name() + ">";
+  // Row space covers all nall force rows: rows < inum zero their own atom
+  // then accumulate its neighbors (the add lands on the freshly zeroed
+  // entry, exactly the value the solo zero-kernel + force-kernel sequence
+  // produces); ghost rows only zero. No row reads f, so zeroing needs no
+  // barrier against the force work of other rows.
+  s.rows = std::size_t(atom.nall());
+  s.row = [=](std::size_t i) {
+    f(i, 0) = 0.0;
+    f(i, 1) = 0.0;
+    f(i, 2) = 0.0;
+    if (i >= nforce) return;
+    EV unused;
+    double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+    const int jnum = numneigh(i);
+    for (int jj = 0; jj < jnum; ++jj) {
+      const int j = neigh(i, std::size_t(jj));
+      detail::pair_accumulate<true, false>(x, facc, type, func, i, j, nlocal,
+                                           /*eflag=*/false, fxi, fyi, fzi,
+                                           unused);
+    }
+    facc.add(i, 0, fxi);
+    facc.add(i, 1, fyi);
+    facc.add(i, 2, fzi);
+  };
+  s.epilogue = [fscatter] { fscatter->contribute(); };
+  batch.add(std::move(s));
+  atom.template modified<Space>(F_MASK);
 }
 
 template class PairLJCutKokkos<kk::Host>;

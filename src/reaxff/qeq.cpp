@@ -146,7 +146,7 @@ void QEq<Space>::matvec(Atom& atom, CommBrick& comm,
   // buffer covering nall and forward-communicate.
   const localint nlocal = atom.nlocal;
   const localint nall = atom.nall();
-  static thread_local kk::DualView<double, 1> xg;
+  kk::DualView<double, 1>& xg = xg_;
   if (!xg.is_allocated() || xg.extent(0) < std::size_t(nall))
     xg.realloc(std::size_t(nall) + 256);
   auto xgv = xg.template view<Space>();
@@ -217,7 +217,8 @@ int QEq<Space>::solve(Atom& atom, CommBrick& comm, simmpi::Comm* mpi) {
       // Fused dual matvec: single pass over the matrix for both systems.
       // Gather+forward both vectors, then spmv_dual (the §4.2.3 fusion).
       const localint nall = atom.nall();
-      static thread_local kk::DualView<double, 1> xg1, xg2;
+      kk::DualView<double, 1>& xg1 = xg1_;
+      kk::DualView<double, 1>& xg2 = xg2_;
       if (!xg1.is_allocated() || xg1.extent(0) < std::size_t(nall)) {
         xg1.realloc(std::size_t(nall) + 256);
         xg2.realloc(std::size_t(nall) + 256);

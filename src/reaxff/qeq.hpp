@@ -61,6 +61,13 @@ class QEq {
   ReaxParams params_;
   OACSR<Space> H_;
   int last_iters_ = 0;
+
+  // Ghost-gather scratch for the CG matvecs (nall-sized, grown on demand).
+  // Members, not function-local `static thread_local` buffers: those were
+  // shared by every QEq on the same thread, so two co-resident Simulations
+  // (the batch server) would overwrite each other's staged vectors.
+  kk::DualView<double, 1> xg_;    // single-RHS matvec
+  kk::DualView<double, 1> xg1_, xg2_;  // fused dual-RHS solve
 };
 
 }  // namespace mlk::reaxff

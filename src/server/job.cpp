@@ -1,0 +1,104 @@
+#include "server/job.hpp"
+
+#include <array>
+#include <map>
+
+#include "io/fault.hpp"
+#include "io/restart.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk::server {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::vector<double> capture_state(Simulation& sim) {
+  Atom& a = sim.atom;
+  a.sync<kk::Host>(X_MASK | V_MASK | TAG_MASK);
+  std::map<tagint, std::array<double, 6>> by_tag;
+  for (localint i = 0; i < a.nlocal; ++i) {
+    std::array<double, 6>& s = by_tag[a.k_tag.h_view(std::size_t(i))];
+    for (std::size_t d = 0; d < 3; ++d) {
+      s[d] = a.k_x.h_view(std::size_t(i), d);
+      s[3 + d] = a.k_v.h_view(std::size_t(i), d);
+    }
+  }
+  std::vector<double> packed;
+  packed.reserve(by_tag.size() * 6);
+  for (const auto& [tag, s] : by_tag)
+    packed.insert(packed.end(), s.begin(), s.end());
+  return packed;
+}
+
+JobSpec JobSpec::from_script(std::string name, const std::string& text) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  std::string line;
+  for (std::size_t pos = 0; pos <= text.size();) {
+    const std::size_t nl = text.find('\n', pos);
+    line = text.substr(pos, nl == std::string::npos ? nl : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+
+    const auto words = tokenize(line);
+    if (words.empty()) continue;
+    if (words[0] == "run") {
+      require(words.size() >= 2, "job script: 'run' needs a step count");
+      spec.steps += to_bigint(words[1]);
+    } else {
+      spec.setup.push_back(line);
+    }
+  }
+  return spec;
+}
+
+void Job::start(bigint checkpoint_every, const std::string& checkpoint_base,
+                bool thermo_print) {
+  sim = std::make_unique<Simulation>();
+  input = std::make_unique<Input>(*sim);
+  // Co-resident jobs interleave on stdout; per-job rows stay queryable via
+  // JobResult::thermo, so printing defaults to off under the server.
+  sim->thermo.print = thermo_print;
+
+  bigint remaining = spec.steps;
+  // Resume when a valid checkpoint set exists; a job interrupted before its
+  // first checkpoint simply restarts from its setup script (deterministic
+  // either way — the trajectory is bitwise the same by the resume guarantee).
+  const bool resume =
+      !spec.resume_from.empty() &&
+      io::find_latest_valid_checkpoint(spec.resume_from, /*nranks=*/1) >= 0;
+  if (resume) {
+    // Style-only preamble (see JobSpec::restore), then recover from the
+    // newest CRC-valid checkpoint set of this job's base. The checkpoint
+    // carries ntimestep, so the job continues where the writer stopped.
+    for (const std::string& cmd : spec.restore) input->line(cmd);
+    io::recover_latest(*sim, spec.resume_from);
+    remaining = spec.steps - sim->ntimestep;
+    require(remaining >= 0, "job '" + spec.name +
+                                "': checkpoint is past the requested steps");
+  } else {
+    for (const std::string& cmd : spec.setup) input->line(cmd);
+  }
+
+  if (checkpoint_every > 0 && !checkpoint_base.empty()) {
+    // Per-job periodic checkpoints: <base>.job<id>.<step>, on the job-local
+    // step counter. The Verlet checkpoint step forces a neighbor rebuild,
+    // preserving the bitwise-identical-resume guarantee per job.
+    sim->restart_every = checkpoint_every;
+    sim->restart_base = checkpoint_base + ".job" + std::to_string(id);
+  }
+
+  sim->prepare_run();
+  verlet = std::make_unique<Verlet>(*sim);
+  verlet->begin(remaining);
+  state = JobState::Running;
+}
+
+}  // namespace mlk::server

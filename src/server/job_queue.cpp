@@ -1,0 +1,54 @@
+#include "server/job_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace mlk::server {
+
+int JobQueue::submit(JobSpec spec) {
+  int id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    require(!closed_, "JobQueue: submit after close");
+    id = next_id_++;
+    q_.push_back(std::make_unique<Job>(id, std::move(spec)));
+  }
+  cv_.notify_one();
+  return id;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+std::unique_ptr<Job> JobQueue::pop(bool wait) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (wait) cv_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return nullptr;
+  std::unique_ptr<Job> job = std::move(q_.front());
+  q_.pop_front();
+  return job;
+}
+
+std::vector<std::pair<int, JobSpec>> JobQueue::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<int, JobSpec>> out;
+  out.reserve(q_.size());
+  for (const auto& job : q_) out.emplace_back(job->id, job->spec);
+  return out;
+}
+
+}  // namespace mlk::server

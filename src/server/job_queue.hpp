@@ -1,0 +1,47 @@
+// JobQueue — thread-safe FIFO of submitted jobs (docs/SERVER.md).
+//
+// Clients submit JobSpecs (from any thread); the scheduler pops them as
+// resident slots free up. close() marks the end of submissions so the
+// scheduler can drain and return. Ids are assigned in submission order.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "server/job.hpp"
+
+namespace mlk::server {
+
+class JobQueue {
+ public:
+  /// Enqueue a job; returns its id (0, 1, ... in submission order).
+  int submit(JobSpec spec);
+
+  /// No more submissions; unblocks any waiting pop().
+  void close();
+  bool closed() const;
+
+  /// Jobs currently queued (admitted jobs no longer count).
+  std::size_t pending() const;
+
+  /// Pop the oldest queued job. With wait=true, blocks until a job arrives
+  /// or the queue is closed and empty (then returns nullptr); with
+  /// wait=false, returns nullptr immediately when empty.
+  std::unique_ptr<Job> pop(bool wait);
+
+  /// Copy of the still-queued jobs' (id, spec), for job-set manifests.
+  std::vector<std::pair<int, JobSpec>> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Job>> q_;
+  int next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mlk::server

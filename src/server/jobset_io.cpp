@@ -1,0 +1,129 @@
+#include "server/jobset_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tools/json.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace mlk::server {
+
+namespace {
+namespace json = mlk::json;
+
+JobState state_from_string(const std::string& s) {
+  if (s == "queued") return JobState::Queued;
+  if (s == "running") return JobState::Running;
+  if (s == "completed") return JobState::Completed;
+  if (s == "failed") return JobState::Failed;
+  fatal("jobset manifest: unknown job state '" + s + "'");
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& base) {
+  return base + ".manifest.json";
+}
+
+void write_manifest(const std::string& base,
+                    const std::vector<ManifestEntry>& entries) {
+  std::ostringstream out;
+  out << "{\"version\":1,\"jobs\":[";
+  bool first_job = true;
+  for (const ManifestEntry& e : entries) {
+    if (!first_job) out << ",";
+    first_job = false;
+    out << "{\"id\":" << e.id << ",\"name\":" << json::quote(e.name)
+        << ",\"state\":" << json::quote(to_string(e.state))
+        << ",\"steps_total\":" << e.steps_total
+        << ",\"steps_done\":" << e.steps_done
+        << ",\"restart_base\":" << json::quote(e.restart_base)
+        << ",\"setup\":[";
+    bool first_line = true;
+    for (const std::string& line : e.setup) {
+      if (!first_line) out << ",";
+      first_line = false;
+      out << json::quote(line);
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+
+  const std::string path = manifest_path(base);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    require(f.good(), "jobset manifest: cannot write '" + tmp + "'");
+    f << out.str();
+  }
+  require(std::rename(tmp.c_str(), path.c_str()) == 0,
+          "jobset manifest: rename to '" + path + "' failed");
+}
+
+std::vector<ManifestEntry> read_manifest(const std::string& base) {
+  const std::string path = manifest_path(base);
+  std::ifstream f(path);
+  require(f.good(), "jobset manifest: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  const json::Value doc = json::parse(buf.str());
+  require(doc.is_object() && doc["jobs"].is_array(),
+          "jobset manifest: '" + path + "' is not a manifest");
+  std::vector<ManifestEntry> entries;
+  for (const json::Value& j : doc["jobs"].arr) {
+    ManifestEntry e;
+    e.id = int(j["id"].number);
+    e.name = j["name"].str;
+    e.state = state_from_string(j["state"].str);
+    e.steps_total = bigint(j["steps_total"].number);
+    e.steps_done = bigint(j["steps_done"].number);
+    e.restart_base = j["restart_base"].str;
+    for (const json::Value& line : j["setup"].arr) e.setup.push_back(line.str);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::vector<std::string> restore_lines(const std::vector<std::string>& setup) {
+  // Commands that create or mutate per-atom state, or control the run, must
+  // not precede read_restart (the reader demands an empty atom store and the
+  // checkpoint supplies that state). Everything else — style declarations,
+  // neighbor/comm settings — replays so non-serializing styles (EAM, SNAP
+  // table coefficients) are re-specified before recovery.
+  static const char* kDrop[] = {"lattice",       "create_atoms", "mass",
+                                "velocity",      "set",          "run",
+                                "read_restart",  "write_restart", "recover",
+                                "restart",       "fault_inject"};
+  std::vector<std::string> out;
+  for (const std::string& line : setup) {
+    const auto words = tokenize(line);
+    if (words.empty()) continue;
+    bool drop = false;
+    for (const char* d : kDrop) drop = drop || words[0] == d;
+    if (!drop) out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<JobSpec> restore_jobset(const std::string& base) {
+  std::vector<JobSpec> specs;
+  for (const ManifestEntry& e : read_manifest(base)) {
+    if (e.state == JobState::Completed || e.state == JobState::Failed)
+      continue;
+    JobSpec spec;
+    spec.name = e.name;
+    spec.setup = e.setup;
+    spec.steps = e.steps_total;
+    if (e.state == JobState::Running && !e.restart_base.empty()) {
+      spec.resume_from = e.restart_base;
+      spec.restore = restore_lines(e.setup);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace mlk::server

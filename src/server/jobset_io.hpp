@@ -1,0 +1,56 @@
+// Job-set checkpoint/restart (docs/SERVER.md).
+//
+// Per-job state reuses the engine's periodic restart machinery (src/io):
+// each resident job writes CRC-validated checkpoints to
+// `<base>.job<id>.<step>` on its job-local step counter. What src/io cannot
+// know is the *set*: which jobs exist, how far each got, and how to rebuild
+// the ones that never started. That lives in a JSON manifest at
+// `<base>.manifest.json`, rewritten atomically (tmp + rename) by the
+// scheduler at every checkpoint epoch and at shutdown.
+//
+// Restore: restore_jobset() reads the manifest and returns fresh JobSpecs —
+// running jobs resume from their newest valid checkpoint via a style-only
+// preamble (restore_lines), queued jobs restart from their setup script,
+// completed/failed jobs are skipped (their results are not replayed).
+// Resubmitting the returned specs in order reproduces the original ids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "server/job.hpp"
+
+namespace mlk::server {
+
+/// One manifest row; covers every job the server has seen.
+struct ManifestEntry {
+  int id = -1;
+  std::string name;
+  JobState state = JobState::Queued;
+  bigint steps_total = 0;
+  bigint steps_done = 0;
+  std::vector<std::string> setup;  // original setup script
+  std::string restart_base;        // per-job checkpoint base ("" = none yet)
+};
+
+std::string manifest_path(const std::string& base);
+
+/// Write the manifest atomically (tmp file + rename): a crash mid-write
+/// leaves the previous manifest intact, matching src/io's torn-write story.
+void write_manifest(const std::string& base,
+                    const std::vector<ManifestEntry>& entries);
+
+/// Parse `<base>.manifest.json`; throws on missing or malformed manifests.
+std::vector<ManifestEntry> read_manifest(const std::string& base);
+
+/// Derive the style-only resume preamble from a setup script: atom-creating
+/// and run-control commands are dropped, because read_restart requires an
+/// empty atom store and the checkpoint already carries atoms, velocities,
+/// fix state and serialized pair coefficients. Style declarations are kept —
+/// script-declared styles win and receive their checkpointed state by id.
+std::vector<std::string> restore_lines(const std::vector<std::string>& setup);
+
+/// Manifest -> resubmittable specs (see file comment).
+std::vector<JobSpec> restore_jobset(const std::string& base);
+
+}  // namespace mlk::server

@@ -1,0 +1,285 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "pair/pair_batch.hpp"
+#include "util/error.hpp"
+
+namespace mlk::server {
+
+Scheduler::Scheduler(JobQueue& queue, SchedulerConfig cfg)
+    : queue_(queue), cfg_(cfg), pool_("job") {}
+
+void Scheduler::run() {
+  for (;;) {
+    admit();
+    if (resident_.empty()) break;  // queue closed and drained
+    if (cfg_.max_rounds > 0 && stats_.rounds >= cfg_.max_rounds) break;
+    step_cohort();
+    ++stats_.rounds;
+  }
+
+  // Graceful drain (max_rounds): unfinished residents hand back partial
+  // results with state Running; the manifest records how far each got so
+  // restore_jobset can resume them.
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (job.instance) {
+      try {
+        pool_.release(*job.instance);
+      } catch (const std::exception& e) {
+        job.state = JobState::Failed;
+        job.error = e.what();
+      }
+      job.instance = nullptr;
+    }
+    JobResult r;
+    r.id = job.id;
+    r.name = job.spec.name;
+    r.state = job.state;
+    r.error = job.error;
+    r.steps_done = job.steps_done();
+    r.thermo = job.sim->thermo.rows();
+    if (job.state != JobState::Failed) r.state_xv = capture_state(*job.sim);
+    results_.push_back(std::move(r));
+    update_manifest_entry(job);
+  }
+  resident_.clear();
+
+  if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_base.empty())
+    write_manifest_snapshot();
+
+  std::sort(results_.begin(), results_.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+}
+
+void Scheduler::admit() {
+  while (int(resident_.size()) < cfg_.max_resident) {
+    // Block only when idle — with live jobs the cohort keeps stepping and
+    // new submissions are picked up at the next round boundary.
+    const bool wait = resident_.empty();
+    std::unique_ptr<Job> job = queue_.pop(wait);
+    if (!job) break;
+
+    try {
+      job->start(cfg_.checkpoint_every, cfg_.checkpoint_base,
+                 cfg_.thermo_print);
+      if (cfg_.fanout) job->instance = &pool_.acquire();
+    } catch (const std::exception& e) {
+      JobResult r;
+      r.id = job->id;
+      r.name = job->spec.name;
+      r.state = JobState::Failed;
+      r.error = e.what();
+      r.finish_order = finish_counter_++;
+      results_.push_back(std::move(r));
+      ManifestEntry m;
+      m.id = job->id;
+      m.name = job->spec.name;
+      m.state = JobState::Failed;
+      m.steps_total = job->spec.steps;
+      m.setup = job->spec.setup;
+      manifest_.push_back(std::move(m));
+      continue;
+    }
+
+    ManifestEntry m;
+    m.id = job->id;
+    m.name = job->spec.name;
+    m.state = JobState::Running;
+    m.steps_total = job->spec.steps;
+    m.steps_done = job->steps_done();
+    m.setup = job->spec.setup;
+    m.restart_base = job->sim->restart_base;
+    manifest_.push_back(std::move(m));
+    resident_.push_back(std::move(job));
+  }
+}
+
+void Scheduler::step_cohort() {
+  // A job resumed at (or past) its final step has nothing to run.
+  for (auto& jp : resident_)
+    if (jp->state == JobState::Running && jp->verlet->done())
+      jp->state = JobState::Completed;
+
+  auto alive = [&](const Job& job) { return job.state == JobState::Running; };
+
+  // Run a phase for one job: enqueued on its pooled instance under fan-out,
+  // inline (with the same error-to-job-failure mapping) otherwise.
+  auto dispatch = [&](Job& job, const char* label,
+                      std::function<void()> fn) {
+    if (job.instance) {
+      job.instance->enqueue(label, std::move(fn));
+    } else {
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        job.state = JobState::Failed;
+        job.error = e.what();
+      }
+    }
+  };
+
+  // Per-instance fence; a task exception fails only the owning job.
+  auto barrier = [&] {
+    for (auto& jp : resident_) {
+      Job& job = *jp;
+      if (!alive(job) || !job.instance) continue;
+      try {
+        job.instance->fence();
+      } catch (const std::exception& e) {
+        job.state = JobState::Failed;
+        job.error = e.what();
+      }
+    }
+  };
+
+  // --- wave A: first integration half + neighbor/halo maintenance ---
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (!alive(job)) continue;
+    Job* j = &job;
+    dispatch(job, "Job::step_begin",
+             [j] { j->phase = j->verlet->step_begin(); });
+  }
+  barrier();
+
+  // --- wave B: force phase, fused across jobs where signatures match ---
+  std::map<std::string, std::vector<Job*>> groups;
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (!alive(job)) continue;
+    job.enlisted = false;
+    if (!cfg_.batch || job.phase.rebuild || job.phase.overlap ||
+        job.phase.eflag)
+      continue;
+    const std::string sig =
+        job.sim->pair->batch_signature(*job.sim, /*eflag=*/false);
+    if (!sig.empty()) groups[sig].push_back(&job);
+  }
+  for (auto& [sig, members] : groups) {
+    if (members.size() < 2) continue;  // a lone job gains nothing from fusing
+    PairBatch batch;
+    try {
+      for (Job* j : members) {
+        j->sim->pair->batch_enlist(*j->sim, /*eflag=*/false, batch);
+        j->enlisted = true;
+      }
+      batch.launch();
+      ++stats_.fused_launches;
+      stats_.fused_jobs += bigint(members.size());
+      for (Job* j : members) j->sim->finish_external_forces();
+    } catch (const std::exception& e) {
+      // An enlist/launch failure is not attributable to one member; fail
+      // the whole group rather than continue with half-computed forces.
+      for (Job* j : members) {
+        j->state = JobState::Failed;
+        j->error = e.what();
+      }
+    }
+  }
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (!alive(job) || job.enlisted) continue;
+    ++stats_.solo_forces;
+    Job* j = &job;
+    dispatch(job, "Job::step_force", [j] { j->verlet->step_force(j->phase); });
+  }
+  barrier();
+
+  // --- wave C: second integration half + checkpoint/thermo output ---
+  bool any_checkpoint = false;
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (!alive(job)) continue;
+    any_checkpoint = any_checkpoint || job.phase.checkpoint;
+    Job* j = &job;
+    dispatch(job, "Job::step_end", [j] { j->verlet->step_end(j->phase); });
+  }
+  barrier();
+
+  // --- end of round: retire finished/failed jobs, persist the manifest ---
+  std::vector<std::unique_ptr<Job>> still_resident;
+  still_resident.reserve(resident_.size());
+  for (auto& jp : resident_) {
+    Job& job = *jp;
+    if (job.state == JobState::Running) ++stats_.steps;
+    if (job.state == JobState::Running && !job.verlet->done()) {
+      still_resident.push_back(std::move(jp));
+      continue;
+    }
+    if (job.state != JobState::Failed) {
+      job.verlet->finish();
+      job.state = JobState::Completed;
+    }
+    if (job.instance) {
+      try {
+        pool_.release(*job.instance);
+      } catch (const std::exception& e) {
+        job.state = JobState::Failed;
+        job.error = e.what();
+      }
+      job.instance = nullptr;
+    }
+    JobResult r;
+    r.id = job.id;
+    r.name = job.spec.name;
+    r.state = job.state;
+    r.error = job.error;
+    r.steps_done = job.steps_done();
+    r.finish_order = finish_counter_++;
+    r.thermo = job.sim->thermo.rows();
+    if (job.state != JobState::Failed) r.state_xv = capture_state(*job.sim);
+    results_.push_back(std::move(r));
+    update_manifest_entry(job);
+  }
+  resident_ = std::move(still_resident);
+
+  if (any_checkpoint && cfg_.checkpoint_every > 0 &&
+      !cfg_.checkpoint_base.empty())
+    write_manifest_snapshot();
+}
+
+void Scheduler::update_manifest_entry(const Job& job) {
+  for (ManifestEntry& e : manifest_) {
+    if (e.id != job.id) continue;
+    e.state = job.state;
+    e.steps_done = job.steps_done();
+    return;
+  }
+}
+
+void Scheduler::write_manifest_snapshot() {
+  // Admitted jobs (manifest_, kept current) + still-queued jobs, so a
+  // restore resubmits the full set. steps_done for running jobs is whatever
+  // the last *checkpoint* captured on disk — recover_latest resumes from
+  // there, not from the in-memory step counter.
+  std::vector<ManifestEntry> entries = manifest_;
+  for (ManifestEntry& e : entries)
+    for (const auto& jp : resident_)
+      if (jp->id == e.id) e.steps_done = jp->steps_done();
+  for (const auto& [id, spec] : queue_.snapshot()) {
+    ManifestEntry e;
+    e.id = id;
+    e.name = spec.name;
+    e.state = JobState::Queued;
+    e.steps_total = spec.steps;
+    e.setup = spec.setup;
+    entries.push_back(std::move(e));
+  }
+  write_manifest(cfg_.checkpoint_base, entries);
+}
+
+std::vector<JobResult> run_jobs(std::vector<JobSpec> specs,
+                                SchedulerConfig cfg) {
+  JobQueue queue;
+  for (JobSpec& spec : specs) queue.submit(std::move(spec));
+  queue.close();
+  Scheduler scheduler(queue, cfg);
+  scheduler.run();
+  return scheduler.results();
+}
+
+}  // namespace mlk::server

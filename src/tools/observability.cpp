@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 
 #include "tools/chrome_trace.hpp"
 #include "tools/json.hpp"
@@ -61,9 +62,12 @@ class EnvProfileDump : public kk::profiling::Tool {
 }  // namespace
 
 void init_from_env() {
-  static bool done = false;
-  if (done) return;
-  done = true;
+  // Process-level env hooks register exactly once; call_once (rather than a
+  // bare bool) so concurrent first callers — the batch server initializes
+  // from its scheduler thread — can't double-register or see a half-done
+  // registration.
+  static std::once_flag once;
+  std::call_once(once, [] {
 
   if (const char* p = std::getenv("MLK_PROFILE")) {
     const std::string val(p);
@@ -83,6 +87,7 @@ void init_from_env() {
     if (!val.empty() && val != "0" && val != "off")
       kk::profiling::register_tool(std::make_shared<ChromeTrace>(val));
   }
+  });
 }
 
 void write_profile_json(const std::string& path, const KernelTimer& timer,

@@ -11,6 +11,10 @@
 #   tests/run_tier1.sh --neigh-device  # device neighbor-build smoke: melt
 #                                 # with MLK_NEIGH=device + overlap on, then
 #                                 # the NeighDevice suite (incl. 2 ranks)
+#   tests/run_tier1.sh --server   # batch-server smoke: 4 jobs multiplexed
+#                                 # through the scheduler with cross-job
+#                                 # fusion, then the Server* suite (isolation,
+#                                 # restart-mid-batch, fairness)
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -22,6 +26,7 @@ gtest_filter=""
 profile_smoke=0
 overlap_smoke=0
 neigh_device_smoke=0
+server_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -44,6 +49,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --neigh-device)
       neigh_device_smoke=1
+      shift
+      ;;
+    --server)
+      server_smoke=1
       shift
       ;;
     *)
@@ -95,6 +104,14 @@ elif [[ "$neigh_device_smoke" == 1 ]]; then
     "$scratch/melt_neigh_device.trace.json"
   "$build_dir/tests/minilmp_tests" --gtest_filter='NeighDevice*'
   echo "neigh-device smoke: OK"
+elif [[ "$server_smoke" == 1 ]]; then
+  # Submit 4 jobs through the batch scheduler (server_demo verifies correct,
+  # energy-conserving thermo per job and that cross-job fused launches
+  # happened), then the full Server* suite: bitwise per-job isolation (solo
+  # vs co-scheduled vs restart-mid-batch), fairness, failure containment.
+  "$build_dir/examples/server_demo"
+  "$build_dir/tests/minilmp_tests" --gtest_filter='Server*'
+  echo "server smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else
