@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -51,8 +53,24 @@ class Metrics {
     kk::profiling::deregister_tool(timer_);
     kk::profiling::deregister_tool(memory_);
     const std::string path = dir_ + "/" + name_ + ".metrics.json";
-    mlk::tools::write_profile_json(path, *timer_, *memory_);
+    if (extras_.empty()) {
+      mlk::tools::write_profile_json(path, *timer_, *memory_);
+    } else {
+      std::ofstream f(path);
+      f << "{\"kernels\":" << timer_->json_fragment()
+        << ",\"memory\":" << memory_->json_fragment();
+      for (const auto& [key, fragment] : extras_)
+        f << ",\"" << key << "\":" << fragment;
+      f << "}\n";
+    }
     std::printf("# per-kernel metrics written to %s\n", path.c_str());
+  }
+
+  /// Attach an extra top-level section (pre-rendered JSON) to the metrics
+  /// file — bench-specific results like gate measurements. No-op when
+  /// MLK_BENCH_METRICS is off.
+  void set_extra(const std::string& key, const std::string& json_fragment) {
+    if (timer_) extras_[key] = json_fragment;
   }
 
   Metrics(const Metrics&) = delete;
@@ -61,6 +79,7 @@ class Metrics {
  private:
   std::string name_;
   std::string dir_;
+  std::map<std::string, std::string> extras_;
   std::shared_ptr<mlk::tools::KernelTimer> timer_;
   std::shared_ptr<mlk::tools::MemorySpaceTracker> memory_;
 };

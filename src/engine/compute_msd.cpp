@@ -1,0 +1,46 @@
+#include "engine/compute_msd.hpp"
+
+#include <vector>
+
+#include "engine/simulation.hpp"
+#include "engine/style_registry.hpp"
+#include "util/error.hpp"
+
+namespace mlk {
+
+double ComputeMSD::compute_scalar(Simulation& sim) {
+  require(sim.setup_done, "compute msd: run setup() first");
+  Atom& atom = sim.atom;
+  atom.sync<kk::Host>(X_MASK | TAG_MASK);
+  const auto x = atom.k_x.h_view;
+  const auto tag = atom.k_tag.h_view;
+  const std::size_t n = std::size_t(atom.nlocal);
+
+  // Pack into the tracker's layout (it also serves the telemetry sink,
+  // which reads packed CoordCapture snapshots).
+  std::vector<double> xp(3 * n);
+  std::vector<std::int64_t> tp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xp[3 * i + 0] = x(i, 0);
+    xp[3 * i + 1] = x(i, 1);
+    xp[3 * i + 2] = x(i, 2);
+    tp[i] = tag(i);
+  }
+  const double prd[3] = {sim.domain.prd(0), sim.domain.prd(1),
+                         sim.domain.prd(2)};
+  const double local = tracker_.observe(xp.data(), tp.data(), n, prd);
+  // Average of per-atom MSDs across ranks, weighted by local atom count.
+  if (sim.mpi) {
+    const double num = sim.allreduce_sum(local * double(n));
+    const double den = double(sim.global_natoms());
+    return den > 0.0 ? num / den : 0.0;
+  }
+  return local;
+}
+
+void register_compute_msd() {
+  StyleRegistry::instance().add_compute(
+      "msd", [] { return std::make_unique<ComputeMSD>(); });
+}
+
+}  // namespace mlk

@@ -1,0 +1,32 @@
+// compute msd — mean-square displacement of the owned atoms (LAMMPS
+// `compute msd`), the standard transport diagnostic. Displacements unwrap
+// through periodic boundaries by minimum image between consecutive
+// evaluations, via the same MsdTracker the live telemetry sink uses for its
+// in-situ MSD (tools/telemetry/insitu.hpp) — one definition of the physics
+// for the scripted and the streaming path.
+#pragma once
+
+#include "engine/compute.hpp"
+#include "tools/telemetry/insitu.hpp"
+
+namespace mlk {
+
+class Simulation;
+
+class ComputeMSD : public Compute {
+ public:
+  /// MSD since the first evaluation (the first call sets the reference
+  /// configuration and returns 0). Call on a cadence shorter than atoms
+  /// need to cross half a box length, like any minimum-image unwrapper.
+  double compute_scalar(Simulation& sim) override;
+
+  /// Restart accumulation from the next evaluation's configuration.
+  void reset() { tracker_.reset(); }
+
+ private:
+  tools::telemetry::MsdTracker tracker_;
+};
+
+void register_compute_msd();
+
+}  // namespace mlk

@@ -5,6 +5,7 @@
 
 #include "engine/simulation.hpp"
 #include "engine/style_registry.hpp"
+#include "tools/telemetry/insitu.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
@@ -30,7 +31,6 @@ void ComputeRDF::evaluate(Simulation& sim) {
   // Half newton-off lists double-count owned-ghost pairs; with the serial
   // periodic setup used here every list style yields each physical pair
   // with total weight 1 under these conventions (validated by tests).
-  bigint npairs = 0;
   for (localint i = 0; i < list.inum; ++i) {
     for (int c = 0; c < numneigh(std::size_t(i)); ++c) {
       const int j = neigh(std::size_t(i), std::size_t(c));
@@ -45,24 +45,14 @@ void ComputeRDF::evaluate(Simulation& sim) {
               ? pair_weight
               : ((j < list.inum || list.newton) ? 1.0 : 0.5);
       hist[std::size_t(b)] += w;
-      npairs += 1;
     }
   }
 
-  // Normalize: g(r) = hist / (ideal-gas pair count in the shell).
-  const double n = double(sim.global_natoms());
-  const double rho = n / sim.domain.volume();
-  gr_.assign(std::size_t(nbins_), 0.0);
-  r_.assign(std::size_t(nbins_), 0.0);
-  constexpr double kPi = 3.14159265358979323846;
-  for (int b = 0; b < nbins_; ++b) {
-    const double r_lo = b * dr, r_hi = (b + 1) * dr;
-    r_[std::size_t(b)] = 0.5 * (r_lo + r_hi);
-    const double shell =
-        4.0 / 3.0 * kPi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
-    const double ideal_pairs = 0.5 * n * rho * shell;
-    gr_[std::size_t(b)] = hist[std::size_t(b)] / ideal_pairs;
-  }
+  // Normalize through the shared in-situ helper: the live telemetry RDF
+  // (tools/telemetry/insitu.cpp) and this scripted compute apply the same
+  // ideal-gas shell normalization by construction.
+  tools::telemetry::normalize_rdf_hist(hist, double(sim.global_natoms()),
+                                       sim.domain.volume(), rcut, gr_, r_);
 }
 
 double ComputeRDF::compute_scalar(Simulation& sim) {

@@ -12,6 +12,7 @@
 #include "tools/kernel_timer.hpp"
 #include "tools/memory_tracker.hpp"
 #include "tools/observability.hpp"
+#include "tools/telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -235,6 +236,19 @@ void Input::execute(const std::vector<std::string>& words) {
       }
       sim_.tracer = std::make_shared<tools::ChromeTrace>(path, only_tag);
       kk::profiling::register_tool(sim_.tracer);
+    }
+  } else if (cmd == "telemetry") {
+    // telemetry <path>[:key=val,...] | flush | stop: real-time streaming of
+    // step timings / thermo / in-situ analysis to a live JSON snapshot and
+    // an NDJSON tail (docs/OBSERVABILITY.md). The hub is process-global.
+    const std::string& sub = arg(1);
+    if (sub == "stop") {
+      tools::telemetry::Hub::instance().stop();
+    } else if (sub == "flush") {
+      tools::telemetry::Hub::instance().drain_now();
+    } else {
+      require(tools::start_telemetry_from_spec(sub),
+              "telemetry: bad spec '" + sub + "'");
     }
   } else if (cmd == "fault_inject") {
     sim_.fault.arm(arg(1) == "off" ? -1 : to_bigint(arg(1)));

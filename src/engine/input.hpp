@@ -26,7 +26,7 @@
 //                                            dump/xyz <every> <file>)
 //   unfix <id>
 //   compute <id> all <style>                (temp, pe, ke, pressure, rdf,
-//                                            snap/bispectrum)
+//                                            msd, snap/bispectrum)
 //   timestep <dt>
 //   thermo <N>
 //   run <N>
@@ -34,6 +34,12 @@
 //   read_restart <file>                        (resume from a checkpoint)
 //   restart <N> <base>                         (periodic: base.<step>[.rank];
 //                                               restart 0 disables)
+//   profile <on|off|dump <file>>               (per-kernel timing + memory,
+//                                               docs/OBSERVABILITY.md)
+//   trace <file|stop>                          (chrome://tracing timeline)
+//   telemetry <path[:opts]|flush|stop>         (real-time streaming snapshot
+//                                               + NDJSON + in-situ analysis,
+//                                               docs/OBSERVABILITY.md)
 //   fault_inject <step|off>                    (kill the run mid-step at
 //                                               <step>; MLK_FAULT_STEP env
 //                                               overrides)

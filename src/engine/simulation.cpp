@@ -9,6 +9,7 @@
 #include "tools/chrome_trace.hpp"
 #include "tools/kernel_timer.hpp"
 #include "tools/memory_tracker.hpp"
+#include "tools/telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace mlk {
@@ -32,20 +33,34 @@ Simulation::Simulation() {
 }
 
 Simulation::~Simulation() {
+  detach_telemetry();
   // Tools registered by input commands flush on owner destruction so tests
   // and scripted runs get their files without waiting for process exit.
+  flush_tools();
+}
+
+void Simulation::flush_tools() {
   if (profile_timer) {
     kk::profiling::deregister_tool(profile_timer);
     profile_timer->finalize();
+    profile_timer.reset();
   }
   if (profile_memory) {
     kk::profiling::deregister_tool(profile_memory);
     profile_memory->finalize();
+    profile_memory.reset();
   }
   if (tracer) {
     kk::profiling::deregister_tool(tracer);
     tracer->finalize();
+    tracer.reset();
   }
+}
+
+void Simulation::detach_telemetry(tools::telemetry::TelemetrySummary* summary) {
+  if (!telemetry) return;
+  tools::telemetry::Hub::instance().detach_sim(telemetry, summary);
+  telemetry.reset();
 }
 
 void Simulation::write_restart(const std::string& base) {
@@ -258,6 +273,24 @@ void Verlet::begin(bigint nsteps) {
   Simulation& sim = sim_;
   nsteps_ = nsteps;
   step_ = 0;
+
+  // Attach to the telemetry hub when it is streaming. Producer bookkeeping
+  // (prev_*) seeds here so the first step's deltas are against run start.
+  namespace tel = tools::telemetry;
+  if (tel::active() && !sim.telemetry)
+    sim.telemetry = tel::Hub::instance().attach_sim(sim.telemetry_label,
+                                                    sim.telemetry_job_id);
+  if (sim.telemetry) {
+    tel::SimTelemetry& t = *sim.telemetry;
+    t.prev_wall_s = 0.0;
+    t.prev_pair_s = sim.timers.total("Pair");
+    t.prev_neigh_s = sim.timers.total("Neigh");
+    t.prev_comm_s = sim.timers.total("Comm");
+    t.prev_launches = kk::profiling::total_launches_relaxed();
+    t.prev_device_launches = kk::profiling::total_device_launches_relaxed();
+    t.prev_valid = true;
+  }
+
   sim.thermo.header();
   sim.thermo.record(sim);
 
@@ -351,6 +384,71 @@ void Verlet::step_end(const Phase& p) {
   if (p.eflag) {
     kk::profiling::ScopedRegion r("Verlet::output");
     sim.thermo.record(sim);
+  }
+
+  publish_telemetry(p);
+}
+
+void Verlet::publish_telemetry(const Phase& p) {
+  namespace tel = tools::telemetry;
+  Simulation& sim = sim_;
+  if (!sim.telemetry || !tel::active()) return;
+  tel::SimTelemetry& t = *sim.telemetry;
+
+  // Per-step deltas against the producer bookkeeping. The launch counters
+  // are process-global relaxed atomics, so under the batch server a step's
+  // delta includes concurrent jobs' launches — live telemetry trades exact
+  // attribution for a wait-free producer path. Clamp against reset().
+  const double wall = loop_timer_.seconds();
+  const double pair = sim.timers.total("Pair");
+  const double neigh = sim.timers.total("Neigh");
+  const double comm = sim.timers.total("Comm");
+  const std::uint64_t launches = kk::profiling::total_launches_relaxed();
+  const std::uint64_t dev = kk::profiling::total_device_launches_relaxed();
+
+  tel::StepSample s;
+  s.step = sim.ntimestep;
+  s.job_id = sim.telemetry_job_id;
+  s.wall_ms = float((wall - t.prev_wall_s) * 1e3);
+  s.pair_ms = float((pair - t.prev_pair_s) * 1e3);
+  s.neigh_ms = float((neigh - t.prev_neigh_s) * 1e3);
+  s.comm_ms = float((comm - t.prev_comm_s) * 1e3);
+  s.launches = launches >= t.prev_launches
+                   ? std::uint32_t(launches - t.prev_launches)
+                   : 0;
+  s.device_launches = dev >= t.prev_device_launches
+                          ? std::uint32_t(dev - t.prev_device_launches)
+                          : 0;
+  s.rebuild = p.rebuild ? 1 : 0;
+  s.overlap = p.overlap ? 1 : 0;
+  t.steps.push(s);
+
+  t.prev_wall_s = wall;
+  t.prev_pair_s = pair;
+  t.prev_neigh_s = neigh;
+  t.prev_comm_s = comm;
+  t.prev_launches = launches;
+  t.prev_device_launches = dev;
+
+  // Periodic coordinate capture for in-situ analysis. The step loop pays
+  // for one packed copy (plus a host sync that thermo steps do anyway);
+  // RDF/MSD run on the sink thread.
+  const int every = tel::Hub::instance().config().coords_every;
+  if (every > 0 && sim.ntimestep % every == 0) {
+    sim.atom.sync<kk::Host>(X_MASK | TAG_MASK);
+    const auto x = sim.atom.k_x.h_view;
+    const auto tag = sim.atom.k_tag.h_view;
+    const std::size_t n = std::size_t(sim.atom.nlocal);
+    tel::CoordCapture::Buf buf = t.coords.begin(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf.x[3 * i + 0] = x(i, 0);
+      buf.x[3 * i + 1] = x(i, 1);
+      buf.x[3 * i + 2] = x(i, 2);
+      buf.tag[i] = tag(i);
+    }
+    const double prd[3] = {sim.domain.prd(0), sim.domain.prd(1),
+                           sim.domain.prd(2)};
+    t.coords.end(sim.ntimestep, prd);
   }
 }
 

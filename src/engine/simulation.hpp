@@ -27,6 +27,10 @@ namespace tools {
 class ChromeTrace;
 class KernelTimer;
 class MemorySpaceTracker;
+namespace telemetry {
+struct SimTelemetry;
+struct TelemetrySummary;
+}  // namespace telemetry
 }  // namespace tools
 
 class Simulation {
@@ -95,6 +99,25 @@ class Simulation {
   std::shared_ptr<tools::KernelTimer> profile_timer;
   std::shared_ptr<tools::MemorySpaceTracker> profile_memory;
   std::shared_ptr<tools::ChromeTrace> tracer;
+
+  /// Live telemetry block (docs/OBSERVABILITY.md): Verlet::begin attaches
+  /// it when the hub is streaming; the destructor — or, for server jobs,
+  /// the scheduler at job retirement — detaches with a final drain. The
+  /// label/job id tag every sample this Simulation publishes.
+  std::shared_ptr<tools::telemetry::SimTelemetry> telemetry;
+  std::string telemetry_label = "main";
+  int telemetry_job_id = -1;
+
+  /// Detach from the telemetry hub, final-draining this Simulation's rings
+  /// into the stream; fills `summary` when non-null (the batch server
+  /// copies it into JobResult). No-op when never attached.
+  void detach_telemetry(tools::telemetry::TelemetrySummary* summary = nullptr);
+
+  /// Flush and deregister the profiling tools this Simulation registered
+  /// (profile/trace input commands). The destructor calls this, but the
+  /// batch server calls it explicitly when a job retires so a long server
+  /// run flushes per-job output at job end, not at process exit.
+  void flush_tools();
 
   /// Write a checkpoint of the current state to `base[.<rank>]`. Marks the
   /// next run for a full setup so the continuing process and a process
@@ -192,6 +215,11 @@ class Verlet {
   void run(bigint nsteps);
 
  private:
+  /// Push this step's StepSample (timing/launch deltas) into the sim's
+  /// telemetry ring and take a coordinate capture on the configured
+  /// cadence. No-op unless the hub is streaming.
+  void publish_telemetry(const Phase& p);
+
   Simulation& sim_;
   bigint nsteps_ = 0;
   bigint step_ = 0;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "engine/simulation.hpp"
+#include "tools/telemetry/telemetry.hpp"
 
 namespace mlk {
 
@@ -21,6 +22,19 @@ void Thermo::record(Simulation& sim) {
   row.etotal = row.pe + row.ke;
   row.press = sim.pressure();
   rows_.push_back(row);
+
+  // Live telemetry: mirror the row into the sim's thermo ring (wait-free).
+  if (sim.telemetry && tools::telemetry::active()) {
+    tools::telemetry::ThermoSample ts;
+    ts.step = row.step;
+    ts.job_id = sim.telemetry_job_id;
+    ts.temp = row.temp;
+    ts.pe = row.pe;
+    ts.ke = row.ke;
+    ts.press = row.press;
+    sim.telemetry->thermo.push(ts);
+  }
+
   const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
   if (print && is_rank0)
     std::printf("%10lld %12.6g %14.8g %14.8g %14.8g %12.6g\n",

@@ -22,6 +22,7 @@ void register_pair_reaxff_lite();
 void register_pair_lj_cut_coul_cut();
 void register_fix_nvt();
 void register_compute_rdf();
+void register_compute_msd();
 void register_dump_xyz();
 void register_pair_external();
 void register_compute_snap_bispectrum();
@@ -33,7 +34,7 @@ void init_all() {
   // registration finished rather than proceed against a half-filled registry.
   static std::once_flag once;
   std::call_once(once, [] {
-  tools::init_from_env();  // MLK_PROFILE / MLK_TRACE observability hooks
+  tools::init_from_env();  // MLK_PROFILE/MLK_TRACE/MLK_TELEMETRY hooks
   register_fix_nve();
   register_fix_langevin();
   register_compute_temp();
@@ -49,6 +50,7 @@ void init_all() {
   register_pair_lj_cut_coul_cut();
   register_fix_nvt();
   register_compute_rdf();
+  register_compute_msd();
   register_dump_xyz();
   register_pair_external();
   register_compute_snap_bispectrum();

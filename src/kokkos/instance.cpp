@@ -112,6 +112,16 @@ int DeviceInstance::live_count() {
   return int(r.live.size());
 }
 
+std::vector<DeviceInstance::Stat> DeviceInstance::live_stats() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<Stat> out;
+  out.reserve(r.live.size());
+  for (DeviceInstance* inst : r.live)
+    out.push_back(Stat{inst->id(), inst->name(), inst->tasks_completed()});
+  return out;
+}
+
 DeviceInstance& InstancePool::acquire() {
   {
     std::lock_guard<std::mutex> lk(mu_);

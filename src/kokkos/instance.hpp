@@ -88,6 +88,16 @@ class DeviceInstance {
   /// Number of currently live instances (tests/tools).
   static int live_count();
 
+  /// One row per live instance, for monitoring consumers (the telemetry
+  /// snapshot's per-instance kernel-launch/task table). Racy by nature —
+  /// counts are whatever each instance reports at the moment of the walk.
+  struct Stat {
+    int id = -1;
+    std::string name;
+    std::uint64_t tasks = 0;  // tasks fully executed since construction
+  };
+  static std::vector<Stat> live_stats();
+
  private:
   struct Task {
     std::string label;

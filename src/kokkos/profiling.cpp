@@ -32,6 +32,12 @@ struct CountState {
 
 std::atomic<bool> g_count_enabled{true};
 
+// Lock-free aggregate mirrors of the shard totals, for callers that cannot
+// afford the shard locks (the telemetry step publisher reads these on the
+// wait-free producer path).
+std::atomic<std::uint64_t> g_total_relaxed{0};
+std::atomic<std::uint64_t> g_total_device_relaxed{0};
+
 // Leaked on purpose: View deallocation events and shard merges can fire from
 // static destructors (e.g. cached PotentialStats holding Views); a leaked
 // state object keeps every ordering safe.
@@ -114,6 +120,8 @@ bool enabled() { return g_count_enabled.load(std::memory_order_relaxed); }
 void record_launch(const std::string& name, bool is_device,
                    std::uint64_t items) {
   if (!g_count_enabled.load(std::memory_order_relaxed)) return;
+  g_total_relaxed.fetch_add(1, std::memory_order_relaxed);
+  if (is_device) g_total_device_relaxed.fetch_add(1, std::memory_order_relaxed);
   Shard& sh = my_shard();
   std::lock_guard<std::mutex> lk(sh.mu);
   auto& s = sh.stats[name];
@@ -124,6 +132,14 @@ void record_launch(const std::string& name, bool is_device,
     s.device_launches++;
     sh.total_device++;
   }
+}
+
+std::uint64_t total_launches_relaxed() {
+  return g_total_relaxed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_device_launches_relaxed() {
+  return g_total_device_relaxed.load(std::memory_order_relaxed);
 }
 
 std::map<std::string, LaunchStat> snapshot() {
@@ -165,6 +181,8 @@ std::uint64_t total_device_launches() {
 }
 
 void reset() {
+  g_total_relaxed.store(0, std::memory_order_relaxed);
+  g_total_device_relaxed.store(0, std::memory_order_relaxed);
   auto& cs = count_state();
   std::lock_guard<std::mutex> rk(cs.registry_mu);
   for (auto& sh : cs.shards) {
@@ -323,6 +341,12 @@ void fence_event(const std::string& name) {
   if (!tooling_active()) return;
   auto tools = current_tools();
   for (const auto& tool : *tools) tool->fence(name);
+}
+
+void count_event(const std::string& name, double value) {
+  if (!tooling_active()) return;
+  auto tools = current_tools();
+  for (const auto& tool : *tools) tool->counter(name, value);
 }
 
 void begin_worker_chunk(std::uint64_t kid, int worker, std::uint64_t begin,

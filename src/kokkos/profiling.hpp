@@ -68,6 +68,12 @@ std::map<std::string, LaunchStat> snapshot();
 std::uint64_t total_launches();
 std::uint64_t total_device_launches();
 
+/// Aggregate counters from plain relaxed atomics — safe on wait-free paths
+/// (the telemetry step publisher), unlike the shard-merging totals above
+/// which take per-shard locks. Monotonic except across reset().
+std::uint64_t total_launches_relaxed();
+std::uint64_t total_device_launches_relaxed();
+
 void reset();
 
 // ---------------------------------------------------------------------------
@@ -115,6 +121,11 @@ class Tool {
   virtual void end_deep_copy(std::uint64_t /*id*/) {}
 
   virtual void fence(const std::string& /*name*/) {}
+
+  /// A named counter sample (KokkosP has no direct analogue; Chrome traces
+  /// render these as "ph":"C" counter tracks). Emitted by the telemetry
+  /// sink (ring drop totals) and the batch scheduler (queue depth).
+  virtual void counter(const std::string& /*name*/, double /*value*/) {}
 
   /// Extension: a device kernel's chunk [begin,end) executing on pool worker
   /// `worker`. Fires on the worker's own thread.
@@ -166,6 +177,9 @@ std::uint64_t begin_deep_copy(const char* dst_space,
 void end_deep_copy(std::uint64_t id);
 
 void fence_event(const std::string& name);
+
+/// Broadcast a counter sample to every registered tool (no-op when none).
+void count_event(const std::string& name, double value);
 
 void begin_worker_chunk(std::uint64_t kid, int worker, std::uint64_t begin,
                         std::uint64_t end);

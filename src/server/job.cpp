@@ -66,6 +66,10 @@ void Job::start(bigint checkpoint_every, const std::string& checkpoint_base,
   // Co-resident jobs interleave on stdout; per-job rows stay queryable via
   // JobResult::thermo, so printing defaults to off under the server.
   sim->thermo.print = thermo_print;
+  // Telemetry attribution: every sample this job's Simulation publishes
+  // carries the job id and name (Verlet::begin attaches the ring block).
+  sim->telemetry_label = spec.name;
+  sim->telemetry_job_id = id;
 
   bigint remaining = spec.steps;
   // Resume when a valid checkpoint set exists; a job interrupted before its

@@ -14,6 +14,7 @@
 #include "engine/input.hpp"
 #include "engine/simulation.hpp"
 #include "engine/thermo.hpp"
+#include "tools/telemetry/telemetry.hpp"
 
 namespace kk {
 class DeviceInstance;
@@ -56,6 +57,9 @@ struct JobResult {
   int finish_order = -1;    // 0-based completion sequence (fairness tests)
   std::vector<ThermoRow> thermo;  // the job's recorded thermo rows
   std::vector<double> state_xv;   // final state (capture_state) for bitwise checks
+  /// Telemetry accounting for this job, filled when the scheduler flushes
+  /// the job's telemetry at retirement (zeros when the hub never streamed).
+  tools::telemetry::TelemetrySummary telemetry;
 };
 
 /// Tag-sorted packed {x[3], v[3]} of every owned atom — the fingerprint the

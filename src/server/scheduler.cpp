@@ -4,15 +4,23 @@
 #include <functional>
 #include <map>
 
+#include "kokkos/profiling.hpp"
 #include "pair/pair_batch.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace mlk::server {
+
+namespace tel = tools::telemetry;
 
 Scheduler::Scheduler(JobQueue& queue, SchedulerConfig cfg)
     : queue_(queue), cfg_(cfg), pool_("job") {}
 
 void Scheduler::run() {
+  // Scheduler events stream into one ring whose producer is this thread.
+  if (tel::active() && !telemetry_)
+    telemetry_ = tel::Hub::instance().attach_sched("server");
+
   for (;;) {
     admit();
     if (resident_.empty()) break;  // queue closed and drained
@@ -24,29 +32,13 @@ void Scheduler::run() {
   // Graceful drain (max_rounds): unfinished residents hand back partial
   // results with state Running; the manifest records how far each got so
   // restore_jobset can resume them.
-  for (auto& jp : resident_) {
-    Job& job = *jp;
-    if (job.instance) {
-      try {
-        pool_.release(*job.instance);
-      } catch (const std::exception& e) {
-        job.state = JobState::Failed;
-        job.error = e.what();
-      }
-      job.instance = nullptr;
-    }
-    JobResult r;
-    r.id = job.id;
-    r.name = job.spec.name;
-    r.state = job.state;
-    r.error = job.error;
-    r.steps_done = job.steps_done();
-    r.thermo = job.sim->thermo.rows();
-    if (job.state != JobState::Failed) r.state_xv = capture_state(*job.sim);
-    results_.push_back(std::move(r));
-    update_manifest_entry(job);
-  }
+  for (auto& jp : resident_) retire_job(*jp, /*assign_finish_order=*/false);
   resident_.clear();
+
+  if (telemetry_) {
+    tel::Hub::instance().detach_sched(telemetry_);
+    telemetry_.reset();
+  }
 
   if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_base.empty())
     write_manifest_snapshot();
@@ -94,8 +86,60 @@ void Scheduler::admit() {
     m.setup = job->spec.setup;
     m.restart_base = job->sim->restart_base;
     manifest_.push_back(std::move(m));
+    const int admitted_id = job->id;
     resident_.push_back(std::move(job));
+    publish_sched_event(tel::SchedKind::Admit, admitted_id);
   }
+}
+
+void Scheduler::publish_sched_event(tel::SchedKind kind, int job_id,
+                                    float wave_a_ms, float wave_b_ms,
+                                    float wave_c_ms) {
+  if (!telemetry_ || !tel::active()) return;
+  tel::SchedSample ev;
+  ev.kind = std::int32_t(kind);
+  ev.job_id = job_id;
+  ev.round = stats_.rounds;
+  ev.queue_depth = std::int32_t(queue_.pending());
+  ev.in_flight = std::int32_t(resident_.size());
+  ev.wave_a_ms = wave_a_ms;
+  ev.wave_b_ms = wave_b_ms;
+  ev.wave_c_ms = wave_c_ms;
+  ev.fused_launches = stats_.fused_launches;
+  telemetry_->events.push(ev);
+}
+
+void Scheduler::retire_job(Job& job, bool assign_finish_order) {
+  if (job.instance) {
+    try {
+      pool_.release(*job.instance);
+    } catch (const std::exception& e) {
+      job.state = JobState::Failed;
+      job.error = e.what();
+    }
+    job.instance = nullptr;
+  }
+
+  JobResult r;
+  r.id = job.id;
+  r.name = job.spec.name;
+  r.state = job.state;
+  r.error = job.error;
+  r.steps_done = job.steps_done();
+  if (assign_finish_order) r.finish_order = finish_counter_++;
+  if (job.sim) {
+    r.thermo = job.sim->thermo.rows();
+    if (job.state != JobState::Failed) r.state_xv = capture_state(*job.sim);
+    // Flush per-job observability NOW, while the job retires — a server
+    // that stays up for days must not defer per-job profile/trace output
+    // and telemetry attribution to the global atexit flush. The telemetry
+    // final drain fills the result's summary.
+    job.sim->flush_tools();
+    job.sim->detach_telemetry(&r.telemetry);
+  }
+  results_.push_back(std::move(r));
+  update_manifest_entry(job);
+  publish_sched_event(tel::SchedKind::JobFinish, job.id);
 }
 
 void Scheduler::step_cohort() {
@@ -137,6 +181,7 @@ void Scheduler::step_cohort() {
   };
 
   // --- wave A: first integration half + neighbor/halo maintenance ---
+  Timer wave_timer;
   for (auto& jp : resident_) {
     Job& job = *jp;
     if (!alive(job)) continue;
@@ -145,6 +190,8 @@ void Scheduler::step_cohort() {
              [j] { j->phase = j->verlet->step_begin(); });
   }
   barrier();
+  const float wave_a_ms = float(wave_timer.seconds() * 1e3);
+  wave_timer.start();
 
   // --- wave B: force phase, fused across jobs where signatures match ---
   std::map<std::string, std::vector<Job*>> groups;
@@ -188,6 +235,8 @@ void Scheduler::step_cohort() {
     dispatch(job, "Job::step_force", [j] { j->verlet->step_force(j->phase); });
   }
   barrier();
+  const float wave_b_ms = float(wave_timer.seconds() * 1e3);
+  wave_timer.start();
 
   // --- wave C: second integration half + checkpoint/thermo output ---
   bool any_checkpoint = false;
@@ -199,6 +248,7 @@ void Scheduler::step_cohort() {
     dispatch(job, "Job::step_end", [j] { j->verlet->step_end(j->phase); });
   }
   barrier();
+  const float wave_c_ms = float(wave_timer.seconds() * 1e3);
 
   // --- end of round: retire finished/failed jobs, persist the manifest ---
   std::vector<std::unique_ptr<Job>> still_resident;
@@ -214,28 +264,15 @@ void Scheduler::step_cohort() {
       job.verlet->finish();
       job.state = JobState::Completed;
     }
-    if (job.instance) {
-      try {
-        pool_.release(*job.instance);
-      } catch (const std::exception& e) {
-        job.state = JobState::Failed;
-        job.error = e.what();
-      }
-      job.instance = nullptr;
-    }
-    JobResult r;
-    r.id = job.id;
-    r.name = job.spec.name;
-    r.state = job.state;
-    r.error = job.error;
-    r.steps_done = job.steps_done();
-    r.finish_order = finish_counter_++;
-    r.thermo = job.sim->thermo.rows();
-    if (job.state != JobState::Failed) r.state_xv = capture_state(*job.sim);
-    results_.push_back(std::move(r));
-    update_manifest_entry(job);
+    retire_job(job, /*assign_finish_order=*/true);
   }
   resident_ = std::move(still_resident);
+
+  publish_sched_event(tel::SchedKind::Round, -1, wave_a_ms, wave_b_ms,
+                      wave_c_ms);
+  // Counter tracks on any live Chrome trace (no-ops when none registered).
+  kk::profiling::count_event("server.queue_depth", double(queue_.pending()));
+  kk::profiling::count_event("server.in_flight", double(resident_.size()));
 
   if (any_checkpoint && cfg_.checkpoint_every > 0 &&
       !cfg_.checkpoint_base.empty())

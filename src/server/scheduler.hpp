@@ -78,6 +78,19 @@ class Scheduler {
   void update_manifest_entry(const Job& job);
   void write_manifest_snapshot();
 
+  /// Retire one finished/failed job: release its instance, flush its
+  /// per-job tools and telemetry (explicitly, at job end — not via atexit),
+  /// and append its JobResult (telemetry summary included).
+  /// `assign_finish_order` is false on the graceful max_rounds drain, where
+  /// unfinished jobs carry no completion sequence.
+  void retire_job(Job& job, bool assign_finish_order);
+
+  /// Publish a scheduler event into the telemetry ring (no-op when the hub
+  /// is not streaming). The scheduler thread is the single producer.
+  void publish_sched_event(tools::telemetry::SchedKind kind, int job_id,
+                           float wave_a_ms = 0.0f, float wave_b_ms = 0.0f,
+                           float wave_c_ms = 0.0f);
+
   JobQueue& queue_;
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Job>> resident_;
@@ -86,6 +99,8 @@ class Scheduler {
   kk::InstancePool pool_;
   Stats stats_;
   int finish_counter_ = 0;
+  /// Ring block for scheduler events while the telemetry hub streams.
+  std::shared_ptr<tools::telemetry::SchedTelemetry> telemetry_;
 };
 
 /// Submit specs, run a scheduler to completion, return results — the

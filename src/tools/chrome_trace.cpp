@@ -109,6 +109,49 @@ void ChromeTrace::fence(const std::string& name) {
   if (!finalized_) events_.push_back(std::move(e));
 }
 
+void ChromeTrace::counter(const std::string& name, double value) {
+  if (!accepts_current_thread()) return;
+  Event e{name, "counter", 'C', now_us(), 0.0,
+          kk::profiling::thread_track_id(), kk::profiling::thread_tag(), 0};
+  e.arg_value = value;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!finalized_) events_.push_back(std::move(e));
+}
+
+void ChromeTrace::allocate_data(const char* /*space*/,
+                                const std::string& /*label*/,
+                                const void* /*ptr*/, std::uint64_t bytes) {
+  if (!accepts_current_thread()) return;
+  const double t = now_us();
+  const int tid = kk::profiling::thread_track_id();
+  const int tag = kk::profiling::thread_tag();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finalized_) return;
+  live_bytes_ += bytes;
+  if (live_bytes_ > hwm_bytes_) hwm_bytes_ = live_bytes_;
+  Event live{"mem.live_bytes", "counter", 'C', t, 0.0, tid, tag, 0};
+  live.arg_value = double(live_bytes_);
+  events_.push_back(std::move(live));
+  Event hwm{"mem.hwm_bytes", "counter", 'C', t, 0.0, tid, tag, 0};
+  hwm.arg_value = double(hwm_bytes_);
+  events_.push_back(std::move(hwm));
+}
+
+void ChromeTrace::deallocate_data(const char* /*space*/,
+                                  const std::string& /*label*/,
+                                  const void* /*ptr*/, std::uint64_t bytes) {
+  if (!accepts_current_thread()) return;
+  const double t = now_us();
+  const int tid = kk::profiling::thread_track_id();
+  const int tag = kk::profiling::thread_tag();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finalized_) return;
+  live_bytes_ = bytes <= live_bytes_ ? live_bytes_ - bytes : 0;
+  Event live{"mem.live_bytes", "counter", 'C', t, 0.0, tid, tag, 0};
+  live.arg_value = double(live_bytes_);
+  events_.push_back(std::move(live));
+}
+
 void ChromeTrace::begin_worker_chunk(std::uint64_t kid, int worker,
                                      std::uint64_t begin, std::uint64_t end) {
   std::string name;
@@ -158,7 +201,10 @@ void ChromeTrace::write_file(const std::string& path,
       << ",\"ts\":" << json::num(e->ts_us);
     if (e->ph == 'X') f << ",\"dur\":" << json::num(e->dur_us);
     if (e->ph == 'i') f << ",\"s\":\"t\"";
-    if (e->arg_items) f << ",\"args\":{\"items\":" << e->arg_items << "}";
+    if (e->ph == 'C')
+      f << ",\"args\":{\"value\":" << json::num(e->arg_value) << "}";
+    else if (e->arg_items)
+      f << ",\"args\":{\"items\":" << e->arg_items << "}";
     f << "}";
   }
   f << "]}\n";

@@ -11,6 +11,11 @@
 //   regions       -> "B"/"E" duration events, cat "region"
 //   deep copies   -> "X" events, cat "deep_copy"
 //   fences        -> "i" instant events
+//   counters      -> "C" counter events (value tracks in the viewer): any
+//                    kk::profiling::count_event (telemetry ring drops, the
+//                    batch scheduler's queue depth) plus the View memory
+//                    counters this tool derives itself from allocate/
+//                    deallocate callbacks ("mem.live_bytes", "mem.hwm_bytes")
 // Thread tracks are labelled from kk::profiling::set_thread_name
 // ("rank-N", "pool-worker-N") via "thread_name" metadata events.
 //
@@ -57,6 +62,11 @@ class ChromeTrace : public kk::profiling::Tool {
                        std::uint64_t bytes, std::uint64_t id) override;
   void end_deep_copy(std::uint64_t id) override;
   void fence(const std::string& name) override;
+  void counter(const std::string& name, double value) override;
+  void allocate_data(const char* space, const std::string& label,
+                     const void* ptr, std::uint64_t bytes) override;
+  void deallocate_data(const char* space, const std::string& label,
+                       const void* ptr, std::uint64_t bytes) override;
   void begin_worker_chunk(std::uint64_t kid, int worker, std::uint64_t begin,
                           std::uint64_t end) override;
   void end_worker_chunk(std::uint64_t kid, int worker) override;
@@ -70,12 +80,13 @@ class ChromeTrace : public kk::profiling::Tool {
   struct Event {
     std::string name;
     const char* cat;
-    char ph;              // 'X', 'B', 'E', 'i'
+    char ph;              // 'X', 'B', 'E', 'i', 'C'
     double ts_us = 0.0;
     double dur_us = 0.0;  // 'X' only
     int tid = 0;
     int tag = -1;
     std::uint64_t arg_items = 0;  // items ('X' kernel) or bytes (deep_copy)
+    double arg_value = 0.0;       // counter value ('C' only)
   };
 
   struct OpenSpan {
@@ -103,6 +114,10 @@ class ChromeTrace : public kk::profiling::Tool {
   std::map<std::uint64_t, OpenSpan> open_;
   std::vector<Event> events_;
   bool finalized_ = false;
+  // View-memory accounting for the derived "mem.*" counter tracks
+  // (allocate_data/deallocate_data callbacks; guarded by mu_).
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t hwm_bytes_ = 0;
 };
 
 }  // namespace mlk::tools

@@ -7,6 +7,7 @@
 
 #include "tools/chrome_trace.hpp"
 #include "tools/json.hpp"
+#include "tools/telemetry/telemetry.hpp"
 
 namespace mlk::tools {
 
@@ -87,7 +88,49 @@ void init_from_env() {
     if (!val.empty() && val != "0" && val != "off")
       kk::profiling::register_tool(std::make_shared<ChromeTrace>(val));
   }
+
+  if (const char* t = std::getenv("MLK_TELEMETRY")) {
+    const std::string val(t);
+    if (!val.empty() && val != "0" && val != "off")
+      start_telemetry_from_spec(val);
+  }
   });
+}
+
+bool start_telemetry_from_spec(const std::string& spec) {
+  telemetry::Config cfg;
+  std::string::size_type opt = spec.find(':');
+  cfg.path = spec.substr(0, opt);
+  while (opt != std::string::npos) {
+    const std::string::size_type start = opt + 1;
+    opt = spec.find(',', start);
+    const std::string kv = spec.substr(
+        start, opt == std::string::npos ? std::string::npos : opt - start);
+    const std::string::size_type eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "telemetry: malformed option '%s'\n", kv.c_str());
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "interval_ms")
+      cfg.interval_ms = std::atoi(val.c_str());
+    else if (key == "coords_every")
+      cfg.coords_every = std::atoi(val.c_str());
+    else if (key == "rdf_bins")
+      cfg.rdf_bins = std::atoi(val.c_str());
+    else if (key == "rdf_rcut")
+      cfg.rdf_rcut = std::atof(val.c_str());
+    else if (key == "insitu_max_atoms")
+      cfg.insitu_max_atoms = std::size_t(std::atoll(val.c_str()));
+    else {
+      std::fprintf(stderr, "telemetry: unknown option '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  if (cfg.interval_ms <= 0) cfg.interval_ms = 50;
+  telemetry::Hub::instance().start(cfg);
+  return true;
 }
 
 void write_profile_json(const std::string& path, const KernelTimer& timer,

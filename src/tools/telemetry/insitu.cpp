@@ -1,0 +1,100 @@
+#include "tools/telemetry/insitu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlk::tools::telemetry {
+
+void normalize_rdf_hist(const std::vector<double>& hist, double n,
+                        double volume, double rcut, std::vector<double>& gr,
+                        std::vector<double>& r_centers) {
+  const int nbins = int(hist.size());
+  const double dr = rcut / nbins;
+  const double rho = volume > 0.0 ? n / volume : 0.0;
+  gr.assign(hist.size(), 0.0);
+  r_centers.assign(hist.size(), 0.0);
+  constexpr double kPi = 3.14159265358979323846;
+  for (int b = 0; b < nbins; ++b) {
+    const double r_lo = b * dr, r_hi = (b + 1) * dr;
+    r_centers[std::size_t(b)] = 0.5 * (r_lo + r_hi);
+    const double shell =
+        4.0 / 3.0 * kPi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal_pairs = 0.5 * n * rho * shell;
+    gr[std::size_t(b)] =
+        ideal_pairs > 0.0 ? hist[std::size_t(b)] / ideal_pairs : 0.0;
+  }
+}
+
+RdfResult rdf_from_coords(const double* x, std::size_t n, const double prd[3],
+                          int nbins, double rcut, std::size_t max_atoms) {
+  RdfResult out;
+  if (n == 0 || nbins <= 0 || rcut <= 0.0) return out;
+
+  // Uniform stride subsample: bounded O(m^2) cost on the consumer thread.
+  std::size_t stride = 1;
+  if (max_atoms > 0 && n > max_atoms) stride = (n + max_atoms - 1) / max_atoms;
+  std::vector<std::size_t> idx;
+  idx.reserve(n / stride + 1);
+  for (std::size_t i = 0; i < n; i += stride) idx.push_back(i);
+  const std::size_t m = idx.size();
+  out.atoms_used = m;
+  if (m < 2) return out;
+
+  const double dr = rcut / nbins;
+  std::vector<double> hist(std::size_t(nbins), 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    const double* xi = x + 3 * idx[a];
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const double* xj = x + 3 * idx[b];
+      const double dx = min_image(xi[0] - xj[0], prd[0]);
+      const double dy = min_image(xi[1] - xj[1], prd[1]);
+      const double dz = min_image(xi[2] - xj[2], prd[2]);
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (r >= rcut) continue;
+      hist[std::size_t(std::min(int(r / dr), nbins - 1))] += 1.0;
+    }
+  }
+
+  const double volume = prd[0] * prd[1] * prd[2];
+  normalize_rdf_hist(hist, double(m), volume, rcut, out.gr, out.r);
+  const auto it = std::max_element(out.gr.begin(), out.gr.end());
+  out.peak = *it;
+  out.r_peak = out.r[std::size_t(it - out.gr.begin())];
+  return out;
+}
+
+double MsdTracker::observe(const double* x, const std::int64_t* tag,
+                           std::size_t n, const double prd[3]) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x + 3 * i;
+    auto [it, fresh] = atoms_.try_emplace(tag[i]);
+    PerAtom& a = it->second;
+    if (fresh) {
+      for (int d = 0; d < 3; ++d) {
+        a.prev[d] = xi[d];
+        a.disp[d] = 0.0;
+      }
+      ++counted;  // contributes 0 — first observation is the reference
+      continue;
+    }
+    double r2 = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      a.disp[d] += min_image(xi[d] - a.prev[d], prd[d]);
+      a.prev[d] = xi[d];
+      r2 += a.disp[d] * a.disp[d];
+    }
+    sum += r2;
+    ++counted;
+  }
+  msd_ = counted > 0 ? sum / double(counted) : 0.0;
+  return msd_;
+}
+
+void MsdTracker::reset() {
+  atoms_.clear();
+  msd_ = 0.0;
+}
+
+}  // namespace mlk::tools::telemetry

@@ -1,0 +1,78 @@
+// In-situ analysis math for the telemetry sink: RDF and MSD computed from a
+// packed coordinate sample (CoordCapture snapshot) on the consumer thread.
+//
+// These are pure functions of (coords, box) so they can run concurrently
+// with the step loop that produced the sample. The engine-side computes
+// share them: ComputeRDF (src/engine/compute_rdf.cpp) normalizes its
+// neighbor-list histogram through normalize_rdf_hist, and the MSD compute
+// (src/engine/compute_msd.cpp) accumulates displacement through MsdTracker
+// — one definition of the physics for the scripted and the live path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mlk::tools::telemetry {
+
+/// Minimum-image convention for one displacement component in a periodic
+/// box of length `prd`.
+inline double min_image(double d, double prd) {
+  if (prd <= 0.0) return d;
+  while (d > 0.5 * prd) d -= prd;
+  while (d < -0.5 * prd) d += prd;
+  return d;
+}
+
+/// Normalize a raw pair-distance histogram into g(r): divide each bin by
+/// the ideal-gas pair count in its shell. `npairs_weighted` conventions are
+/// the caller's; `n` is the atom count the histogram was built over and
+/// `volume` the box volume it lives in. Writes g(r) and the bin centers.
+void normalize_rdf_hist(const std::vector<double>& hist, double n,
+                        double volume, double rcut, std::vector<double>& gr,
+                        std::vector<double>& r_centers);
+
+struct RdfResult {
+  std::vector<double> r;   // bin centers
+  std::vector<double> gr;  // g(r)
+  double peak = 0.0;       // max g(r)
+  double r_peak = 0.0;     // its location
+  std::size_t atoms_used = 0;
+};
+
+/// Brute-force O(n^2) g(r) over packed coordinates with minimum-image
+/// periodic boundaries. When n exceeds `max_atoms`, atoms are strided
+/// uniformly down to at most that many — a live diagnostic wants a stable
+/// estimate at bounded consumer-thread cost, not an exact census.
+RdfResult rdf_from_coords(const double* x, std::size_t n, const double prd[3],
+                          int nbins, double rcut, std::size_t max_atoms = 0);
+
+/// Mean-square displacement across a sequence of coordinate samples.
+/// Displacements are accumulated per atom tag with minimum-image unwrapping
+/// between *consecutive* samples — correct as long as no atom moves more
+/// than half a box length between observations (the telemetry coordinate
+/// cadence easily satisfies this for MD timesteps). Atoms appearing or
+/// vanishing between samples (migration in multirank captures) simply
+/// enter/leave the tracked set.
+class MsdTracker {
+ public:
+  /// Observe the next sample; returns the MSD over atoms tracked since
+  /// their first observation.
+  double observe(const double* x, const std::int64_t* tag, std::size_t n,
+                 const double prd[3]);
+
+  double msd() const { return msd_; }
+  std::size_t tracked() const { return atoms_.size(); }
+  void reset();
+
+ private:
+  struct PerAtom {
+    double prev[3];  // last observed (wrapped) position
+    double disp[3];  // accumulated unwrapped displacement
+  };
+  std::unordered_map<std::int64_t, PerAtom> atoms_;
+  double msd_ = 0.0;
+};
+
+}  // namespace mlk::tools::telemetry

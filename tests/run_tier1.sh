@@ -15,6 +15,11 @@
 #                                 # through the scheduler with cross-job
 #                                 # fusion, then the Server* suite (isolation,
 #                                 # restart-mid-batch, fairness)
+#   tests/run_tier1.sh --telemetry # live-telemetry smoke: melt run with
+#                                 # MLK_TELEMETRY streaming snapshots +
+#                                 # NDJSON + counter tracks, then the
+#                                 # telemetry suites (ring accounting,
+#                                 # torn-read impossibility, hub lifecycle)
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -27,6 +32,7 @@ profile_smoke=0
 overlap_smoke=0
 neigh_device_smoke=0
 server_smoke=0
+telemetry_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -53,6 +59,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --server)
       server_smoke=1
+      shift
+      ;;
+    --telemetry)
+      telemetry_smoke=1
       shift
       ;;
     *)
@@ -112,6 +122,17 @@ elif [[ "$server_smoke" == 1 ]]; then
   "$build_dir/examples/server_demo"
   "$build_dir/tests/minilmp_tests" --gtest_filter='Server*'
   echo "server smoke: OK"
+elif [[ "$telemetry_smoke" == 1 ]]; then
+  # Live-telemetry smoke (tests/telemetry_smoke.sh): the melt example with
+  # MLK_TELEMETRY streaming JSON snapshots + an NDJSON tail + in-situ
+  # RDF/MSD, trace counter tracks validated, then the telemetry unit suites
+  # (ring drop-oldest exactness, torn-read impossibility, hub lifecycle).
+  bash "$repo/tests/telemetry_smoke.sh" \
+    "$build_dir/examples/run_script" "$build_dir/tests/validate_trace" \
+    "$repo/examples/in.melt"
+  "$build_dir/tests/minilmp_tests" \
+    --gtest_filter='TelemetryRing*:TelemetryHub*:CoordCapture*:Insitu*'
+  echo "telemetry smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Telemetry smoke (ctest `telemetry_smoke`, run_tier1.sh --telemetry): run
+# the melt example with the live telemetry hub streaming (MLK_TELEMETRY) and
+# a chrome trace, then check the observable contract end to end:
+#
+#   * the JSON snapshot exists, carries the mlk-telemetry-1 schema, and
+#     (since the final atexit snapshot lands after the run's Simulation
+#     detached) records the finished run's terminal summary;
+#   * the NDJSON tail exists and streams step records;
+#   * the ring drop counter is on record (and reported here);
+#   * the chrome trace carries ph:"C" counter tracks, including the
+#     telemetry.ring_drops and memory watermark counters.
+#
+# Usage: telemetry_smoke.sh <run_script> <validate_trace> <in.melt>
+set -euo pipefail
+
+run_script="$1"
+validate_trace="$2"
+melt_in="$3"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+snap="$scratch/telemetry.json"
+
+(cd "$scratch" &&
+ MLK_TELEMETRY="$snap:interval_ms=5,coords_every=25" \
+ MLK_TRACE="$scratch/melt.trace.json" \
+   "$run_script" "$melt_in")
+
+fail() { echo "telemetry smoke: $*" >&2; exit 1; }
+
+[[ -s "$snap" ]] || fail "snapshot $snap missing or empty"
+grep -q '"schema":"mlk-telemetry-1"' "$snap" || fail "snapshot schema wrong"
+grep -q '"finished":\[{' "$snap" || fail "snapshot has no finished-run summary"
+grep -q '"name":"main"' "$snap" || fail "finished summary lost attribution"
+grep -q '"last_step":250' "$snap" || fail "finished summary missed step 250"
+
+[[ -s "$snap.ndjson" ]] || fail "NDJSON tail $snap.ndjson missing or empty"
+steps="$(grep -c '"type":"step"' "$snap.ndjson" || true)"
+thermos="$(grep -c '"type":"thermo"' "$snap.ndjson" || true)"
+insitus="$(grep -c '"type":"insitu"' "$snap.ndjson" || true)"
+(( steps >= 1 )) || fail "no step samples in the NDJSON tail"
+(( insitus >= 1 )) || fail "no in-situ records in the NDJSON tail"
+
+drops="$(sed -n 's/.*"drops":{"total":\([0-9]*\)}.*/\1/p' "$snap")"
+[[ -n "$drops" ]] || fail "snapshot has no drop counter"
+
+"$validate_trace" --require-counters \
+  --require-counter=telemetry.ring_drops \
+  --require-counter=mem.hwm_bytes \
+  "$scratch/melt.trace.json"
+
+echo "telemetry smoke: $steps step, $thermos thermo, $insitus insitu" \
+     "samples streamed; $drops ring drops"
+echo "telemetry smoke: OK"

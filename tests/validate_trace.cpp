@@ -9,27 +9,42 @@
 // "thread_name" metadata entries beginning with "instance-" (the compute
 // and comm kk::DeviceInstance stream threads), with at least one kernel or
 // region span recorded on an instance track.
+//
+// Counter events (ph:"C" — memory watermarks, telemetry ring drops, batch
+// scheduler queue depth) are always structurally validated: every counter
+// must carry a numeric args.value. --require-counters demands that at least
+// one counter track exists (any traced run emits mem.* counters), and each
+// --require-counter=<name> demands a specific track (run_tier1.sh
+// --telemetry asks for telemetry.ring_drops).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "tools/json.hpp"
 
 int main(int argc, char** argv) {
   bool require_instances = false;
+  bool require_counters = false;
+  std::vector<std::string> required_counter_names;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-instance-tracks") == 0)
       require_instances = true;
+    else if (std::strcmp(argv[i], "--require-counters") == 0)
+      require_counters = true;
+    else if (std::strncmp(argv[i], "--require-counter=", 18) == 0)
+      required_counter_names.push_back(argv[i] + 18);
     else
       path = argv[i];
   }
   if (!path) {
     std::fprintf(stderr,
                  "usage: validate_trace [--require-instance-tracks] "
+                 "[--require-counters] [--require-counter=<name>...] "
                  "<trace.json>\n");
     return 2;
   }
@@ -66,7 +81,15 @@ int main(int argc, char** argv) {
 
   int kernels = 0, verlet_regions = 0, deep_copies = 0;
   int instance_spans = 0;
+  int counters = 0, bad_counters = 0;
+  std::set<std::string> counter_names;
   for (const auto& e : events.arr) {
+    if (e["ph"].str == "C") {
+      ++counters;
+      counter_names.insert(e["name"].str);
+      if (!e["args"]["value"].is_number()) ++bad_counters;
+      continue;
+    }
     const std::string& cat = e["cat"].str;
     if (cat.rfind("kernel", 0) == 0) ++kernels;
     else if (cat == "deep_copy") ++deep_copies;
@@ -78,9 +101,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("validate_trace: %zu events (%d kernel, %d Verlet region, "
-              "%d deep_copy, %zu instance tracks, %d instance spans)\n",
+              "%d deep_copy, %zu instance tracks, %d instance spans, "
+              "%d counter events on %zu tracks)\n",
               events.arr.size(), kernels, verlet_regions, deep_copies,
-              instance_tids.size(), instance_spans);
+              instance_tids.size(), instance_spans, counters,
+              counter_names.size());
   if (kernels == 0 || verlet_regions == 0 || deep_copies == 0) {
     std::fprintf(stderr, "validate_trace: missing required span kinds\n");
     return 1;
@@ -90,6 +115,26 @@ int main(int argc, char** argv) {
                  "validate_trace: expected >= 2 'instance-*' thread tracks "
                  "with spans (overlapped run)\n");
     return 1;
+  }
+  if (bad_counters > 0) {
+    std::fprintf(stderr,
+                 "validate_trace: %d ph:\"C\" events lack a numeric "
+                 "args.value\n",
+                 bad_counters);
+    return 1;
+  }
+  if (require_counters && counters == 0) {
+    std::fprintf(stderr, "validate_trace: expected counter (ph:\"C\") "
+                         "events, found none\n");
+    return 1;
+  }
+  for (const std::string& name : required_counter_names) {
+    if (!counter_names.count(name)) {
+      std::fprintf(stderr,
+                   "validate_trace: required counter track '%s' missing\n",
+                   name.c_str());
+      return 1;
+    }
   }
   return 0;
 }
