@@ -6,8 +6,10 @@
 // are measured from the real kernels; a "measured on this CPU" section
 // exercises the real code paths for the same variants.
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.hpp"
+#include "kokkos/simd.hpp"
 #include "pair/pair_lj_cut_kokkos.hpp"
 
 using namespace mlk;
@@ -96,6 +98,13 @@ int main() {
   banner("Real kernels on this CPU (same code paths, small system)",
          "Fig. 2 measured sanity column");
   {
+    if (kk::simd_enabled())
+      std::printf("measured path: SIMD packs (kk::simd<double,%d>, "
+                  "MLK_SIMD=on)\n",
+                  kk::native_simd_width);
+    else
+      std::printf("measured path: scalar (MLK_SIMD off — the reference "
+                  "path)\n");
     Table t({"variant", "time/step [ms] (measured)"});
     t.add_row({"full + atom-parallel",
                Table::num(1e3 * cpu_variant_time(NeighStyle::Full, false,
@@ -110,6 +119,39 @@ int main() {
     std::printf("note: on one CPU core the half list wins (half the pair "
                 "visits, no atomic contention) — the paper's CPU-side "
                 "conclusion (section 4.1)\n");
+  }
+
+  banner("LJ scalar vs kk::simd packs on this CPU (full + atom-parallel)",
+         "docs/VECTORIZATION.md acceptance gate");
+  {
+    const bool simd_was = kk::simd_enabled();
+    kk::simdstats::reset();
+    kk::set_simd_enabled(false);
+    const double t_scalar =
+        cpu_variant_time(NeighStyle::Full, false, PairParallelism::Atom, 8);
+    kk::set_simd_enabled(true);
+    const double t_simd =
+        cpu_variant_time(NeighStyle::Full, false, PairParallelism::Atom, 8);
+    kk::set_simd_enabled(simd_was);
+    const double speedup = t_scalar / t_simd;
+
+    Table t({"path", "time/step [ms] (measured)"});
+    t.add_row({"scalar", Table::num(1e3 * t_scalar, 3)});
+    t.add_row({std::string("simd W=") + std::to_string(kk::native_simd_width),
+               Table::num(1e3 * t_simd, 3)});
+    t.print();
+    std::printf("# simd speedup (scalar/simd per-step): %.2fx\n", speedup);
+    std::printf("# gate (>= 1.5x with MLK_SIMD=on vs scalar): %s\n",
+                speedup >= 1.5 ? "PASS" : "FAIL");
+
+    std::ostringstream os;
+    os << "{\"width\":" << kk::native_simd_width
+       << ",\"scalar_ms_per_step\":" << 1e3 * t_scalar
+       << ",\"simd_ms_per_step\":" << 1e3 * t_simd
+       << ",\"speedup\":" << speedup
+       << ",\"gate_1p5x\":" << (speedup >= 1.5 ? "true" : "false")
+       << ",\"launches\":" << kk::simdstats::launches_json() << "}";
+    metrics.set_extra("simd", os.str());
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "io/fault.hpp"
 #include "io/restart_reader.hpp"
 #include "kokkos/profiling.hpp"
+#include "kokkos/simd.hpp"
 #include "tools/chrome_trace.hpp"
 #include "tools/kernel_timer.hpp"
 #include "tools/memory_tracker.hpp"
@@ -146,6 +147,11 @@ void Input::execute(const std::vector<std::string>& words) {
     // (docs/EXECUTION_MODEL.md). Takes effect when the pair style supports
     // the interior/boundary split (full list + atom parallelism).
     sim_.overlap_enabled = to_bool(arg(1));
+  } else if (cmd == "simd") {
+    // simd on|off: route hot kernels through the kk::simd pack path
+    // (docs/VECTORIZATION.md). Script-level equivalent of MLK_SIMD=on|off;
+    // scalar remains the reference path and the default.
+    kk::set_simd_enabled(to_bool(arg(1)));
   } else if (cmd == "suffix") {
     const std::string& s = arg(1);
     sim_.global_suffix = (s == "off") ? "" : s;

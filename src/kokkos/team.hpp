@@ -3,11 +3,16 @@
 // team scratch memory (the software-managed cache of §4.4).
 //
 // Emulation model: each *team* is one unit of pool work — leagues are
-// distributed across pool threads; within a team, thread/vector lanes
-// execute sequentially on the owning pool thread (the standard serial-team
-// emulation). The logical team/vector sizes are preserved so that the
-// perf model can price occupancy and convergence, and so algorithms are
-// written exactly as they would be for a GPU.
+// distributed across pool threads; within a team, *thread* lanes execute
+// sequentially on the owning pool thread (the standard serial-team
+// emulation). The *vector* level is real: vector_for maps ThreadVectorRange
+// iterations onto kk::simd lanes (docs/VECTORIZATION.md) — native pack
+// width with SIMD on, width 1 (the scalar reference) with it off — so
+// single-source kernels vectorize without per-kernel intrinsics. The plain
+// parallel_for over a ThreadVectorRange remains the scalar per-lane loop.
+// The logical team/vector sizes are preserved so that the perf model can
+// price occupancy and convergence, and so algorithms are written exactly
+// as they would be for a GPU.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "kokkos/core.hpp"
+#include "kokkos/simd.hpp"
 
 namespace kk {
 
@@ -129,6 +135,43 @@ void parallel_scan(const Range& r, const F& f, T& total) {
 template <class F>
 void single(const TeamMember&, const F& f) {
   f();
+}
+
+// Vector-lane dispatch --------------------------------------------------
+
+/// One block of W logical vector lanes handed to a vector_for body: lanes
+/// cover indices [base, base+W), with `mask` deactivating lanes past the
+/// range end (the remainder block). `width == 1` is the scalar reference
+/// instantiation.
+template <int W>
+struct LaneBlock {
+  static constexpr int width = W;
+  std::size_t base;
+  simd_mask<W> mask;
+  std::size_t index(int lane) const { return base + std::size_t(lane); }
+};
+
+/// Iterate a range W lanes at a time at a fixed width; `f` receives a
+/// LaneBlock<W> per block, the last one remainder-masked.
+template <int W, class Range, class F>
+void vector_for_width(const Range& r, const F& f) {
+  std::size_t i = r.begin;
+  for (; i + W <= r.end; i += W) f(LaneBlock<W>{i, simd_mask<W>(true)});
+  if (i < r.end) f(LaneBlock<W>{i, simd_mask<W>::first(int(r.end - i))});
+}
+
+/// Single-source SIMD dispatch over the vector-lane level: the body is a
+/// generic callable `f(auto lane_block)` written against kk::simd packs of
+/// `decltype(lane_block)::width` lanes. With SIMD on (`MLK_SIMD`, `simd on`)
+/// it instantiates at the native pack width; off, at width 1 — where every
+/// pack op is one scalar op in the original order, i.e. the scalar
+/// reference path. See docs/VECTORIZATION.md for the porting recipe.
+template <class Range, class F>
+void vector_for(const Range& r, const F& f) {
+  if (simd_enabled())
+    vector_for_width<native_simd_width>(r, f);
+  else
+    vector_for_width<1>(r, f);
 }
 
 // League dispatch --------------------------------------------------------

@@ -25,6 +25,19 @@
 // kernels below drop the reduction machinery entirely and dispatch a plain
 // parallel_for — the "fuse force+energy, eliminate the separate reduce
 // pass" optimization of the source paper.
+//
+// SIMD: with kk::simd_enabled() (MLK_SIMD / `simd on`), every kernel below
+// walks each atom row's neighbors kk::native_simd_width lanes at a time
+// with kk::simd packs — distance math, the cutoff test, and the functor
+// evaluation run masked across lanes (docs/VECTORIZATION.md). A functor may
+// provide the pack interface
+//   simd<double,W> fpair_simd<W>(rsq_pack, itype, const int* jtype)
+//   simd<double,W> fpair_ev_simd<W>(rsq_pack, itype, const int* jtype,
+//                                   simd<double,W>& evdwl_out)
+// (lane l of rsq/jtype is neighbor l of the chunk); without it, the
+// neighbor geometry still vectorizes and the functor is evaluated per
+// active lane. The scalar path stays the reference: SIMD off runs the
+// original per-neighbor loops untouched.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +47,7 @@
 #include "engine/neighbor.hpp"
 #include "kokkos/core.hpp"
 #include "kokkos/scatterview.hpp"
+#include "kokkos/simd.hpp"
 #include "kokkos/team.hpp"
 
 namespace mlk {
@@ -112,6 +126,145 @@ inline void pair_accumulate(const XView& x, const FAcc& facc,
   }
 }
 
+/// SIMD counterpart of pair_accumulate: evaluates one chunk of up to W
+/// neighbors of atom i. `j` holds W neighbor indices (inactive lanes padded
+/// with j[0], a valid index, so gathers never read out of bounds); `act`
+/// marks real lanes. Forces and EV terms accumulate into caller-held packs;
+/// inactive/out-of-cutoff lanes have fpair forced to 0 so their
+/// contributions vanish. The j-side half-list scatter stays per-active-lane
+/// (one add per (i,j) pair, row order preserved — bitwise-identical to the
+/// scalar loop; see VECTORIZATION.md's equivalence policy).
+template <int W, bool FULL, bool NEWTON, class XView, class FAcc, class TView,
+          class Functor>
+inline void pair_chunk_packed(const XView& x, const FAcc& facc,
+                              const TView& type, const Functor& func,
+                              std::size_t i, double xi0, double xi1, double xi2,
+                              int itype, const int* j,
+                              const kk::simd_mask<W>& act, localint nlocal,
+                              bool eflag, kk::simd<double, W>& afx,
+                              kk::simd<double, W>& afy,
+                              kk::simd<double, W>& afz, kk::simd<double, W>& ae,
+                              kk::simd<double, W>* av) {
+  using pd = kk::simd<double, W>;
+  const pd dx =
+      pd(xi0) - pd::gather([&](int l) { return x(std::size_t(j[l]), 0); });
+  const pd dy =
+      pd(xi1) - pd::gather([&](int l) { return x(std::size_t(j[l]), 1); });
+  const pd dz =
+      pd(xi2) - pd::gather([&](int l) { return x(std::size_t(j[l]), 2); });
+  const pd rsq = dx * dx + dy * dy + dz * dz;
+  int jt[W];
+  for (int l = 0; l < W; ++l) jt[l] = type(std::size_t(j[l]));
+  const pd cut = pd::gather([&](int l) { return func.cutsq(itype, jt[l]); });
+  const auto m = act && (rsq < cut);
+  if (m.none()) return;
+  // Inactive lanes divide a benign 1.0, never rsq garbage (NaN/UB safety).
+  const pd rsq_s = kk::select(m, rsq, pd(1.0));
+
+  pd fpair, epair;
+  if constexpr (requires(pd& e) {
+                  func.template fpair_ev_simd<W>(rsq_s, itype, jt, e);
+                }) {
+    // Pack-native functor: whole chunk evaluated in SIMD registers.
+    fpair = eflag ? func.template fpair_ev_simd<W>(rsq_s, itype, jt, epair)
+                  : func.template fpair_simd<W>(rsq_s, itype, jt);
+  } else {
+    // Generic fallback: distance math above vectorized, functor per lane.
+    for (int l = 0; l < W; ++l) {
+      if (!m[l]) continue;
+      double e = 0.0, fp;
+      if constexpr (requires(double& ee) {
+                      func.fpair_ev(rsq_s[l], itype, jt[l], ee);
+                    }) {
+        fp = eflag ? func.fpair_ev(rsq_s[l], itype, jt[l], e)
+                   : func.fpair(rsq_s[l], itype, jt[l]);
+      } else {
+        fp = func.fpair(rsq_s[l], itype, jt[l]);
+        if (eflag) e = func.evdwl(rsq_s[l], itype, jt[l]);
+      }
+      fpair.set_lane(l, fp);
+      epair.set_lane(l, e);
+    }
+  }
+  fpair = kk::select(m, fpair, pd(0.0));
+  const pd fx = dx * fpair, fy = dy * fpair, fz = dz * fpair;
+  afx += fx;
+  afy += fy;
+  afz += fz;
+  if constexpr (!FULL) {
+    for (int l = 0; l < W; ++l) {
+      if (!m[l]) continue;
+      facc.add(std::size_t(j[l]), 0, -fx[l]);
+      facc.add(std::size_t(j[l]), 1, -fy[l]);
+      facc.add(std::size_t(j[l]), 2, -fz[l]);
+    }
+  }
+  if (eflag) {
+    epair = kk::select(m, epair, pd(0.0));
+    pd factor;
+    if constexpr (FULL) {
+      factor = pd(0.5);
+    } else if constexpr (NEWTON) {
+      factor = pd(1.0);
+    } else {
+      kk::simd_mask<W> owned;
+      for (int l = 0; l < W; ++l) owned.set(l, j[l] < nlocal);
+      factor = kk::select(owned, pd(1.0), pd(0.5));
+    }
+    ae += factor * epair;
+    av[0] += factor * (dx * fx);
+    av[1] += factor * (dy * fy);
+    av[2] += factor * (dz * fz);
+    av[3] += factor * (dx * fy);
+    av[4] += factor * (dx * fz);
+    av[5] += factor * (dy * fz);
+  }
+}
+
+/// Packed neighbor-row walk: a full-width main loop (hoisted all-true mask,
+/// unpadded j loads — the structure the compiler turns into straight-line
+/// vector code) plus one lane-padded masked remainder chunk. Pack
+/// accumulators persist across the whole row and horizontally reduce once
+/// at the end.
+template <int W, bool FULL, bool NEWTON, class XView, class FAcc, class TView,
+          class NeighView, class Functor>
+inline void pair_row_packed(const XView& x, const FAcc& facc,
+                            const TView& type, const NeighView& neigh,
+                            const Functor& func, std::size_t i, int jnum,
+                            localint nlocal, bool eflag, double& fxi,
+                            double& fyi, double& fzi, EV& ev) {
+  if (jnum <= 0) return;
+  using pd = kk::simd<double, W>;
+  const double xi0 = x(i, 0), xi1 = x(i, 1), xi2 = x(i, 2);
+  const int itype = type(i);
+  const kk::simd_mask<W> all(true);
+  pd afx, afy, afz, ae;
+  pd av[6];
+  int j[W];
+  const int nfull = jnum & ~(W - 1);
+  for (int jj = 0; jj < nfull; jj += W) {
+    for (int l = 0; l < W; ++l) j[l] = neigh(i, std::size_t(jj + l));
+    pair_chunk_packed<W, FULL, NEWTON>(x, facc, type, func, i, xi0, xi1, xi2,
+                                       itype, j, all, nlocal, eflag, afx, afy,
+                                       afz, ae, av);
+  }
+  if (nfull < jnum) {
+    const int rem = jnum - nfull;
+    for (int l = 0; l < rem; ++l) j[l] = neigh(i, std::size_t(nfull + l));
+    for (int l = rem; l < W; ++l) j[l] = j[0];  // pad with a valid index
+    pair_chunk_packed<W, FULL, NEWTON>(
+        x, facc, type, func, i, xi0, xi1, xi2, itype, j,
+        kk::simd_mask<W>::first(rem), nlocal, eflag, afx, afy, afz, ae, av);
+  }
+  fxi += kk::reduce_sum(afx);
+  fyi += kk::reduce_sum(afy);
+  fzi += kk::reduce_sum(afz);
+  if (eflag) {
+    ev.evdwl += kk::reduce_sum(ae);
+    for (int k = 0; k < 6; ++k) ev.v[k] += kk::reduce_sum(av[k]);
+  }
+}
+
 }  // namespace detail
 
 /// Atom-parallel kernel: one work item per atom, serial loop over neighbors.
@@ -133,14 +286,23 @@ EV pair_compute_atom(const std::string& name, Atom& atom,
   kk::ScatterView<double, 2, Space> fscatter(f, scatter);
   auto facc = fscatter.access();
 
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) kk::simdstats::count_launch(name);
+
   EV total;
   const auto row = [=](std::size_t i, EV& ev) {
     double fxi = 0.0, fyi = 0.0, fzi = 0.0;
     const int jnum = numneigh(i);
-    for (int jj = 0; jj < jnum; ++jj) {
-      const int j = neigh(i, std::size_t(jj));
-      detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
-                                            eflag, fxi, fyi, fzi, ev);
+    if (use_simd) {
+      detail::pair_row_packed<kk::native_simd_width, FULL, NEWTON>(
+          x, facc, type, neigh, func, i, jnum, nlocal, eflag, fxi, fyi, fzi,
+          ev);
+    } else {
+      for (int jj = 0; jj < jnum; ++jj) {
+        const int j = neigh(i, std::size_t(jj));
+        detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
+                                              eflag, fxi, fyi, fzi, ev);
+      }
     }
     facc.add(i, 0, fxi);
     facc.add(i, 1, fyi);
@@ -179,15 +341,23 @@ EV pair_compute_sublist_views(const std::string& name, const XView& x,
                               kk::ScatterMode scatter, bool eflag) {
   kk::ScatterView<double, 2, Space> fscatter(f, scatter);
   auto facc = fscatter.access();
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) kk::simdstats::count_launch(name);
   EV total;
   const auto row = [=](std::size_t s, EV& ev) {
     const std::size_t i = std::size_t(sublist(s));
     double fxi = 0.0, fyi = 0.0, fzi = 0.0;
     const int jnum = numneigh(i);
-    for (int jj = 0; jj < jnum; ++jj) {
-      const int j = neigh(i, std::size_t(jj));
-      detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
-                                            eflag, fxi, fyi, fzi, ev);
+    if (use_simd) {
+      detail::pair_row_packed<kk::native_simd_width, FULL, NEWTON>(
+          x, facc, type, neigh, func, i, jnum, nlocal, eflag, fxi, fyi, fzi,
+          ev);
+    } else {
+      for (int jj = 0; jj < jnum; ++jj) {
+        const int j = neigh(i, std::size_t(jj));
+        detail::pair_accumulate<FULL, NEWTON>(x, facc, type, func, i, j, nlocal,
+                                              eflag, fxi, fyi, fzi, ev);
+      }
     }
     facc.add(i, 0, fxi);
     facc.add(i, 1, fyi);
@@ -226,6 +396,9 @@ EV pair_compute_team(const std::string& name, Atom& atom,
   kk::ScatterView<double, 2, Space> fscatter(f, scatter);
   auto facc = fscatter.access();
 
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) kk::simdstats::count_launch(name);
+
   EV total;
   kk::TeamPolicy<Space> policy(std::size_t(list.inum), 1, vector_length);
   kk::parallel_reduce(
@@ -236,13 +409,32 @@ EV pair_compute_team(const std::string& name, Atom& atom,
         // Per-lane partial forces on atom i reduced across the vector range.
         double fxi = 0.0, fyi = 0.0, fzi = 0.0;
         EV ev_local;
-        kk::parallel_for(kk::ThreadVectorRange(member, std::size_t(jnum)),
-                         [&](std::size_t jj) {
-                           const int j = neigh(i, jj);
-                           detail::pair_accumulate<FULL, NEWTON>(
-                               x, facc, type, func, i, j, nlocal, eflag, fxi,
-                               fyi, fzi, ev_local);
-                         });
+        const double xi0 = x(i, 0), xi1 = x(i, 1), xi2 = x(i, 2);
+        const int itype = type(i);
+        // Single-source vector level: W = native width with SIMD on, 1 off.
+        kk::vector_for(
+            kk::ThreadVectorRange(member, std::size_t(jnum)),
+            [&](auto lanes) {
+              constexpr int W = decltype(lanes)::width;
+              using pd = kk::simd<double, W>;
+              int j[W];
+              j[0] = neigh(i, lanes.index(0));  // lane 0 is always active
+              for (int l = 1; l < W; ++l)
+                j[l] = lanes.mask[l] ? neigh(i, lanes.index(l)) : j[0];
+              pd afx, afy, afz, ae;
+              pd av[6];
+              detail::pair_chunk_packed<W, FULL, NEWTON>(
+                  x, facc, type, func, i, xi0, xi1, xi2, itype, j, lanes.mask,
+                  nlocal, eflag, afx, afy, afz, ae, av);
+              fxi += kk::reduce_sum(afx);
+              fyi += kk::reduce_sum(afy);
+              fzi += kk::reduce_sum(afz);
+              if (eflag) {
+                ev_local.evdwl += kk::reduce_sum(ae);
+                for (int k = 0; k < 6; ++k)
+                  ev_local.v[k] += kk::reduce_sum(av[k]);
+              }
+            });
         member.team_barrier();
         facc.add(i, 0, fxi);
         facc.add(i, 1, fyi);

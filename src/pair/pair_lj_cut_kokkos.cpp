@@ -187,6 +187,11 @@ void PairLJCutKokkos<Space>::batch_enlist(Simulation& sim, bool eflag,
       f, cfg_.scatter);
   const auto facc = fscatter->access();
 
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd)
+    kk::simdstats::count_launch(std::string("PairComputeLJCut<") +
+                                Space::name() + ">::batch");
+
   PairBatch::Slice s;
   s.label = std::string("PairComputeLJCut<") + Space::name() + ">";
   // Row space covers all nall force rows: rows < inum zero their own atom
@@ -203,11 +208,17 @@ void PairLJCutKokkos<Space>::batch_enlist(Simulation& sim, bool eflag,
     EV unused;
     double fxi = 0.0, fyi = 0.0, fzi = 0.0;
     const int jnum = numneigh(i);
-    for (int jj = 0; jj < jnum; ++jj) {
-      const int j = neigh(i, std::size_t(jj));
-      detail::pair_accumulate<true, false>(x, facc, type, func, i, j, nlocal,
-                                           /*eflag=*/false, fxi, fyi, fzi,
-                                           unused);
+    if (use_simd) {
+      detail::pair_row_packed<kk::native_simd_width, true, false>(
+          x, facc, type, neigh, func, i, jnum, nlocal, /*eflag=*/false, fxi,
+          fyi, fzi, unused);
+    } else {
+      for (int jj = 0; jj < jnum; ++jj) {
+        const int j = neigh(i, std::size_t(jj));
+        detail::pair_accumulate<true, false>(x, facc, type, func, i, j, nlocal,
+                                             /*eflag=*/false, fxi, fyi, fzi,
+                                             unused);
+      }
     }
     facc.add(i, 0, fxi);
     facc.add(i, 1, fyi);

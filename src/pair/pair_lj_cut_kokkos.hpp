@@ -49,6 +49,47 @@ struct LJFunctor {
             d_lj2(std::size_t(itype), std::size_t(jtype))) *
            r2inv;
   }
+
+  // Pack-native evaluation (docs/VECTORIZATION.md): lane l holds neighbor l
+  // of the chunk. Coefficients gather per lane (jtype varies); the r^-2/r^-6
+  // algebra is identical op-for-op to the scalar expressions, so the W == 1
+  // instantiation is bitwise-equal to fpair()/fpair_ev().
+  template <int W>
+  kk::simd<double, W> fpair_simd(const kk::simd<double, W>& rsq, int itype,
+                                 const int* jtype) const {
+    using pd = kk::simd<double, W>;
+    const pd r2inv = pd(1.0) / rsq;
+    const pd r6inv = r2inv * r2inv * r2inv;
+    const pd lj1 = pd::gather([&](int l) {
+      return d_lj1(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    const pd lj2 = pd::gather([&](int l) {
+      return d_lj2(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    return r6inv * (lj1 * r6inv - lj2) * r2inv;
+  }
+  template <int W>
+  kk::simd<double, W> fpair_ev_simd(const kk::simd<double, W>& rsq, int itype,
+                                    const int* jtype,
+                                    kk::simd<double, W>& evdwl_out) const {
+    using pd = kk::simd<double, W>;
+    const pd r2inv = pd(1.0) / rsq;
+    const pd r6inv = r2inv * r2inv * r2inv;
+    const pd lj3 = pd::gather([&](int l) {
+      return d_lj3(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    const pd lj4 = pd::gather([&](int l) {
+      return d_lj4(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    evdwl_out = r6inv * (lj3 * r6inv - lj4);
+    const pd lj1 = pd::gather([&](int l) {
+      return d_lj1(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    const pd lj2 = pd::gather([&](int l) {
+      return d_lj2(std::size_t(itype), std::size_t(jtype[l]));
+    });
+    return r6inv * (lj1 * r6inv - lj2) * r2inv;
+  }
 };
 
 template <class Space>

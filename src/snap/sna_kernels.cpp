@@ -156,6 +156,10 @@ void SNAKokkos<Space>::compute_ui() {
   // One team per (atom, neighbor-batch); recursion staged in team scratch;
   // `batch` neighbors summed locally before the atomic accumulation
   // (Table 2's ComputeUi work batching: fewer FP64 atomics + exposed ILP).
+  // The scratch accumulate below is elementwise (one add per flat index per
+  // neighbor), so its packed form is bitwise-identical to scalar.
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) kk::simdstats::count_launch("SNAP::ComputeUi");
   const std::size_t league = std::size_t(natom) * std::size_t(nbatches);
   const std::size_t scratch =
       std::size_t(iumax) * 4 * sizeof(double);  // u pair + local accumulator
@@ -183,9 +187,24 @@ void SNAKokkos<Space>::compute_ui() {
       cayley_klein(p.rfac0, p.rmin0, p.rcut, r, &z0, nullptr);
       compute_u_raw(*idx, dx, dy, dz, z0, r, ur, ui);
       const double s = switching(p, r);
-      for (int k = 0; k < iumax; ++k) {
-        acc_r[k] += s * ur[k];
-        acc_i[k] += s * ui[k];
+      if (use_simd) {
+        constexpr int W = kk::native_simd_width;
+        using pd = kk::simd<double, W>;
+        const pd sp(s);
+        const int nfull = iumax & ~(W - 1);
+        for (int k = 0; k < nfull; k += W) {
+          (pd::load(acc_r + k) + sp * pd::load(ur + k)).store(acc_r + k);
+          (pd::load(acc_i + k) + sp * pd::load(ui + k)).store(acc_i + k);
+        }
+        for (int k = nfull; k < iumax; ++k) {
+          acc_r[k] += s * ur[k];
+          acc_i[k] += s * ui[k];
+        }
+      } else {
+        for (int k = 0; k < iumax; ++k) {
+          acc_r[k] += s * ur[k];
+          acc_i[k] += s * ui[k];
+        }
       }
     }
     // Single atomic accumulation per batch.
@@ -214,20 +233,81 @@ double SNAKokkos<Space>::compute_zi_bi_energy(const double* beta) {
   auto zi = zlist_i;
   auto bl = blist;
 
-  // Z: parallel over atoms, serial over idxz within a thread.
-  kk::parallel_for(
-      "SNAP::ComputeZi", kk::RangePolicy<Space>(0, std::size_t(natom)),
-      [=](std::size_t i) {
-        for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
-          double z_r, z_i;
-          compute_z_entry(
-              *idx, idx->idxz[std::size_t(jjz)],
-              [&](int k) { return utr(i, std::size_t(k)); },
-              [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
-          zr(i, std::size_t(jjz)) = z_r;
-          zi(i, std::size_t(jjz)) = z_i;
-        }
-      });
+  // Z: parallel over atoms, serial over idxz within a thread. SIMD assigns
+  // lanes to *atoms* (the §4.3.2 batching axis): every lane shares the flat
+  // index walk, so U rows load as packs — contiguous under Device
+  // LayoutLeft — and each lane reproduces the scalar op order exactly
+  // (bitwise policy; docs/VECTORIZATION.md).
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) {
+    kk::simdstats::count_launch("SNAP::ComputeZi");
+    constexpr int W = kk::native_simd_width;
+    using pd = kk::simd<double, W>;
+    const std::size_t na_sz = std::size_t(natom);
+    const std::size_t nblk = (na_sz + W - 1) / W;
+    kk::parallel_for(
+        "SNAP::ComputeZi", kk::RangePolicy<Space>(0, nblk),
+        [=](std::size_t blk) {
+          const std::size_t i0 = blk * W;
+          const int nlane = int(std::min<std::size_t>(W, na_sz - i0));
+          if (nlane == W) {
+            const bool contig = W == 1 || &utr(i0 + 1, 0) - &utr(i0, 0) == 1;
+            const auto block = [&](const auto& lur, const auto& lui) {
+              for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+                pd z_r, z_i;
+                compute_z_entry_lanes<W>(*idx, idx->idxz[std::size_t(jjz)],
+                                         lur, lui, &z_r, &z_i);
+                for (int l = 0; l < W; ++l) {
+                  zr(i0 + std::size_t(l), std::size_t(jjz)) = z_r[l];
+                  zi(i0 + std::size_t(l), std::size_t(jjz)) = z_i[l];
+                }
+              }
+            };
+            if (contig)
+              block([&](int k) { return pd::load(&utr(i0, std::size_t(k))); },
+                    [&](int k) { return pd::load(&uti(i0, std::size_t(k))); });
+            else
+              block(
+                  [&](int k) {
+                    return pd::gather([&](int l) {
+                      return utr(i0 + std::size_t(l), std::size_t(k));
+                    });
+                  },
+                  [&](int k) {
+                    return pd::gather([&](int l) {
+                      return uti(i0 + std::size_t(l), std::size_t(k));
+                    });
+                  });
+          } else {
+            for (int l = 0; l < nlane; ++l) {
+              const std::size_t i = i0 + std::size_t(l);
+              for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+                double z_r, z_i;
+                compute_z_entry(
+                    *idx, idx->idxz[std::size_t(jjz)],
+                    [&](int k) { return utr(i, std::size_t(k)); },
+                    [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
+                zr(i, std::size_t(jjz)) = z_r;
+                zi(i, std::size_t(jjz)) = z_i;
+              }
+            }
+          }
+        });
+  } else {
+    kk::parallel_for(
+        "SNAP::ComputeZi", kk::RangePolicy<Space>(0, std::size_t(natom)),
+        [=](std::size_t i) {
+          for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+            double z_r, z_i;
+            compute_z_entry(
+                *idx, idx->idxz[std::size_t(jjz)],
+                [&](int k) { return utr(i, std::size_t(k)); },
+                [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
+            zr(i, std::size_t(jjz)) = z_r;
+            zi(i, std::size_t(jjz)) = z_i;
+          }
+        });
+  }
 
   // B + energy reduction.
   double energy = 0.0;
@@ -288,6 +368,73 @@ void SNAKokkos<Space>::compute_yi(const double* beta) {
   // batch size v of §4.3.2 — small enough that the U rows for v atoms stay
   // cache-resident, large enough for convergent accesses.
   const std::size_t v = std::size_t(std::max(1, yi_tile));
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) {
+    // SIMD path: lanes over atoms (§4.3.2's batch axis — same shape as the
+    // packed ComputeZi above). One block of W atoms walks all Z entries;
+    // the W U rows (~idxu_max * W * 16 B) stay cache-resident, replacing
+    // the MDRange atom tiling. Per (atom, jju) the adds still land in
+    // ascending-jjz order and each block owns its atom rows outright, so
+    // the accumulation is non-atomic and bitwise-identical to scalar.
+    kk::simdstats::count_launch("SNAP::ComputeYi");
+    constexpr int W = kk::native_simd_width;
+    using pd = kk::simd<double, W>;
+    const std::size_t na_sz = std::size_t(natom);
+    const std::size_t nblk = (na_sz + W - 1) / W;
+    kk::parallel_for(
+        "SNAP::ComputeYi", kk::RangePolicy<Space>(0, nblk),
+        [=](std::size_t blk) {
+          const std::size_t i0 = blk * W;
+          const int nlane = int(std::min<std::size_t>(W, na_sz - i0));
+          if (nlane == W) {
+            const bool contig = W == 1 || &utr(i0 + 1, 0) - &utr(i0, 0) == 1;
+            const auto block = [&](const auto& lur, const auto& lui) {
+              for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+                const auto& e = idx->idxz[std::size_t(jjz)];
+                pd z_r, z_i;
+                compute_z_entry_lanes<W>(*idx, e, lur, lui, &z_r, &z_i);
+                const double betaj = beta[e.jjb] * e.beta_fac;
+                for (int l = 0; l < W; ++l) {
+                  yr(i0 + std::size_t(l), std::size_t(e.jju)) +=
+                      betaj * z_r[l];
+                  yi(i0 + std::size_t(l), std::size_t(e.jju)) +=
+                      betaj * z_i[l];
+                }
+              }
+            };
+            if (contig)
+              block([&](int k) { return pd::load(&utr(i0, std::size_t(k))); },
+                    [&](int k) { return pd::load(&uti(i0, std::size_t(k))); });
+            else
+              block(
+                  [&](int k) {
+                    return pd::gather([&](int l) {
+                      return utr(i0 + std::size_t(l), std::size_t(k));
+                    });
+                  },
+                  [&](int k) {
+                    return pd::gather([&](int l) {
+                      return uti(i0 + std::size_t(l), std::size_t(k));
+                    });
+                  });
+          } else {
+            for (int l = 0; l < nlane; ++l) {
+              const std::size_t i = i0 + std::size_t(l);
+              for (int jjz = 0; jjz < idx->idxz_max; ++jjz) {
+                const auto& e = idx->idxz[std::size_t(jjz)];
+                double z_r, z_i;
+                compute_z_entry(
+                    *idx, e, [&](int k) { return utr(i, std::size_t(k)); },
+                    [&](int k) { return uti(i, std::size_t(k)); }, &z_r, &z_i);
+                const double betaj = beta[e.jjb] * e.beta_fac;
+                yr(i, std::size_t(e.jju)) += betaj * z_r;
+                yi(i, std::size_t(e.jju)) += betaj * z_i;
+              }
+            }
+          }
+        });
+    return;
+  }
   kk::MDRangePolicy<Space, 2> policy({std::size_t(natom),
                                       std::size_t(idx_.idxz_max)},
                                      {v, std::size_t(idx_.idxz_max)});
@@ -320,6 +467,8 @@ void SNAKokkos<Space>::compute_fused_deidrj(Atom& atom, double virial_out[6]) {
   // One team per (atom, neighbor): fused dU recursion over all three
   // directions with scratch staging, contraction with Y inlined into the
   // force accumulation (ComputeFusedDeidrj, Table 2).
+  const bool use_simd = kk::simd_enabled();
+  if (use_simd) kk::simdstats::count_launch("SNAP::ComputeFusedDeidrj");
   const std::size_t league = std::size_t(natom) * std::size_t(maxneigh);
   const std::size_t scratch = std::size_t(iumax) * 8 * sizeof(double);
   auto policy =
@@ -365,14 +514,69 @@ void SNAKokkos<Space>::compute_fused_deidrj(Atom& atom, double virial_out[6]) {
                            dim * yi(i, std::size_t(jju)));
           }
         };
-        for (int j = 0; j <= p.twojmax; ++j) {
-          int jju = idx->idxu_block[std::size_t(j)];
-          for (int mb = 0; 2 * mb < j; ++mb)
-            for (int ma = 0; ma <= j; ++ma) accum(jju++, 1.0);
-          if (j % 2 == 0) {
-            const int mb = j / 2;
-            for (int ma = 0; ma < mb; ++ma) accum(jju++, 1.0);
-            accum(jju, 0.5);
+        if (use_simd) {
+          // Packed contraction. Per j, all weight-1.0 entries are one
+          // contiguous flat-index run starting at idxu_block[j]: the
+          // 2mb<j rows back-to-back, plus (even j) the first j/2 entries
+          // of the middle row; the lone 0.5-weighted middle entry follows
+          // it. ur/dur live in contiguous team scratch (pack loads); Y is
+          // a View row (gather). Lane partials reduce once at the end —
+          // tolerance policy vs the scalar interleaved order.
+          constexpr int W = kk::native_simd_width;
+          using pd = kk::simd<double, W>;
+          const pd sp(s), dsp(ds);
+          pd facc[3];
+          for (int j = 0; j <= p.twojmax; ++j) {
+            const int jju0 = idx->idxu_block[std::size_t(j)];
+            const int len =
+                ((j + 1) / 2) * (j + 1) + (j % 2 == 0 ? j / 2 : 0);
+            const int nfull = len & ~(W - 1);
+            for (int off = 0; off < nfull; off += W) {
+              const int base = jju0 + off;
+              const pd urp = pd::load(ur + base);
+              const pd uip = pd::load(ui_ + base);
+              const pd yrp = pd::gather(
+                  [&](int l) { return yr(i, std::size_t(base + l)); });
+              const pd yip = pd::gather(
+                  [&](int l) { return yi(i, std::size_t(base + l)); });
+              for (int k = 0; k < 3; ++k) {
+                const pd durp = pd::load(dur[k] + base);
+                const pd duip = pd::load(dui[k] + base);
+                const pd dre = dsp * urp * pd(u3[k]) + sp * durp;
+                const pd dim = dsp * uip * pd(u3[k]) + sp * duip;
+                facc[k] += dre * yrp + dim * yip;
+              }
+            }
+            if (len > nfull) {
+              const kk::simd_mask<W> m = kk::simd_mask<W>::first(len - nfull);
+              const int base = jju0 + nfull;
+              const pd urp = pd::load_masked(ur + base, m);
+              const pd uip = pd::load_masked(ui_ + base, m);
+              const pd yrp = pd::gather_masked(
+                  m, [&](int l) { return yr(i, std::size_t(base + l)); });
+              const pd yip = pd::gather_masked(
+                  m, [&](int l) { return yi(i, std::size_t(base + l)); });
+              for (int k = 0; k < 3; ++k) {
+                const pd durp = pd::load_masked(dur[k] + base, m);
+                const pd duip = pd::load_masked(dui[k] + base, m);
+                const pd dre = dsp * urp * pd(u3[k]) + sp * durp;
+                const pd dim = dsp * uip * pd(u3[k]) + sp * duip;
+                facc[k] += dre * yrp + dim * yip;
+              }
+            }
+            if (j % 2 == 0) accum(jju0 + len, 0.5);
+          }
+          for (int k = 0; k < 3; ++k) fij[k] += kk::reduce_sum(facc[k]);
+        } else {
+          for (int j = 0; j <= p.twojmax; ++j) {
+            int jju = idx->idxu_block[std::size_t(j)];
+            for (int mb = 0; 2 * mb < j; ++mb)
+              for (int ma = 0; ma <= j; ++ma) accum(jju++, 1.0);
+            if (j % 2 == 0) {
+              const int mb = j / 2;
+              for (int ma = 0; ma < mb; ++ma) accum(jju++, 1.0);
+              accum(jju, 0.5);
+            }
           }
         }
         for (int k = 0; k < 3; ++k) fij[k] *= 2.0;

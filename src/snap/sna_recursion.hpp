@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "kokkos/simd.hpp"
 #include "snap/clebsch_gordan.hpp"
 
 namespace mlk::snap {
@@ -191,6 +192,51 @@ inline void compute_z_entry(const SnaIndexes& idx, const SnaIndexes::ZEntry& e,
     for (int ia = 0; ia < e.na; ++ia) {
       const double u1r = get_ur(jju1 + ma1), u1i = get_ui(jju1 + ma1);
       const double u2r = get_ur(jju2 + ma2), u2i = get_ui(jju2 + ma2);
+      const double cga = cgblock[icga];
+      suma1_r += cga * (u1r * u2r - u1i * u2i);
+      suma1_i += cga * (u1r * u2i + u1i * u2r);
+      ++ma1;
+      --ma2;
+      icga += e.j2;
+    }
+    zr += cgblock[icgb] * suma1_r;
+    zi += cgblock[icgb] * suma1_i;
+    jju1 += e.j1 + 1;
+    jju2 -= e.j2 + 1;
+    icgb += e.j2;
+  }
+  *z_r = zr;
+  *z_i = zi;
+}
+
+/// Z triple product for one idxz entry evaluated for W atoms at once — the
+/// §4.3.2 batching axis. Every lane walks the *same* flat U indices, so the
+/// only data that varies per lane is the atom row: LoadUr/LoadUi map a flat
+/// index k to the pack of u[k] values across the W atoms (one contiguous
+/// vector load under Device LayoutLeft, a gather otherwise), and the CG
+/// coefficients broadcast. Each lane performs exactly the scalar
+/// compute_z_entry operation sequence — no reassociation — so lane l's
+/// result is bitwise-identical to the scalar evaluation for atom l
+/// (docs/VECTORIZATION.md policy table).
+template <int W, class LoadUr, class LoadUi>
+inline void compute_z_entry_lanes(const SnaIndexes& idx,
+                                  const SnaIndexes::ZEntry& e,
+                                  const LoadUr& load_ur, const LoadUi& load_ui,
+                                  kk::simd<double, W>* z_r,
+                                  kk::simd<double, W>* z_i) {
+  using pd = kk::simd<double, W>;
+  const double* cgblock = idx.cglist.data() + idx.cg_offset(e.j1, e.j2, e.j);
+  pd zr, zi;
+  int jju1 = idx.idxu_block[std::size_t(e.j1)] + (e.j1 + 1) * e.mb1min;
+  int jju2 = idx.idxu_block[std::size_t(e.j2)] + (e.j2 + 1) * e.mb2max;
+  int icgb = e.mb1min * (e.j2 + 1) + e.mb2max;
+  for (int ib = 0; ib < e.nb; ++ib) {
+    pd suma1_r, suma1_i;
+    int ma1 = e.ma1min, ma2 = e.ma2max;
+    int icga = e.ma1min * (e.j2 + 1) + e.ma2max;
+    for (int ia = 0; ia < e.na; ++ia) {
+      const pd u1r = load_ur(jju1 + ma1), u1i = load_ui(jju1 + ma1);
+      const pd u2r = load_ur(jju2 + ma2), u2i = load_ui(jju2 + ma2);
       const double cga = cgblock[icga];
       suma1_r += cga * (u1r * u2r - u1i * u2i);
       suma1_i += cga * (u1r * u2i + u1i * u2r);

@@ -2,7 +2,8 @@
 # Docs link checker (tier-1): fails on dead *relative* links in the repo's
 # markdown files. External URLs and pure #anchors are skipped; a link's
 # target is resolved against the file that contains it, with any #fragment
-# stripped. Build trees and .git are excluded.
+# stripped. Fenced code blocks are ignored (C++ lambdas like `[&](int l)`
+# would otherwise parse as links). Build trees and .git are excluded.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,7 +26,8 @@ while IFS= read -r -d '' md; do
       echo "dead link: ${md#"$repo"/} -> $target" >&2
       fail=1
     fi
-  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+  done < <(awk '/^[[:space:]]*(```|~~~)/ {fence = !fence; next} !fence' "$md" |
+           grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//' || true)
 done < <(find "$repo" -name '*.md' \
               -not -path '*/build*' -not -path '*/.git/*' -print0)
 

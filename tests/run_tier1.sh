@@ -20,6 +20,10 @@
 #                                 # NDJSON + counter tracks, then the
 #                                 # telemetry suites (ring accounting,
 #                                 # torn-read impossibility, hub lifecycle)
+#   tests/run_tier1.sh --simd     # SIMD smoke: melt with MLK_SIMD off vs on
+#                                 # (total energy compared per the tolerance
+#                                 # policy), the Simd* suites, and the
+#                                 # sanitized pack-layer build
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -33,6 +37,7 @@ overlap_smoke=0
 neigh_device_smoke=0
 server_smoke=0
 telemetry_smoke=0
+simd_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -63,6 +68,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --telemetry)
       telemetry_smoke=1
+      shift
+      ;;
+    --simd)
+      simd_smoke=1
       shift
       ;;
     *)
@@ -133,6 +142,38 @@ elif [[ "$telemetry_smoke" == 1 ]]; then
   "$build_dir/tests/minilmp_tests" \
     --gtest_filter='TelemetryRing*:TelemetryHub*:CoordCapture*:Insitu*'
   echo "telemetry smoke: OK"
+elif [[ "$simd_smoke" == 1 ]]; then
+  # SIMD smoke (docs/VECTORIZATION.md): the melt example twice — scalar
+  # reference vs MLK_SIMD=on pack path — comparing the thermo total-energy
+  # column at 1e-6 relative (NVE conserves it, so any masking or remainder
+  # bug shows up as drift). Then the Simd* unit/equivalence suites and the
+  # sanitized standalone build of the pack layer.
+  scratch="$(mktemp -d)"
+  trap 'rm -rf "$scratch"' EXIT
+  (cd "$scratch" && MLK_SIMD=off \
+     "$build_dir/examples/run_script" "$repo/examples/in.melt" \
+     > "$scratch/melt_scalar.txt")
+  (cd "$scratch" && MLK_SIMD=on \
+     "$build_dir/examples/run_script" "$repo/examples/in.melt" \
+     > "$scratch/melt_simd.txt")
+  awk '/^ *[0-9]+ +-?[0-9]/ {print $5}' "$scratch/melt_scalar.txt" \
+    > "$scratch/etot_scalar.txt"
+  awk '/^ *[0-9]+ +-?[0-9]/ {print $5}' "$scratch/melt_simd.txt" \
+    > "$scratch/etot_simd.txt"
+  [[ -s "$scratch/etot_scalar.txt" ]] || {
+    echo "simd smoke: no thermo rows found" >&2; exit 1; }
+  paste "$scratch/etot_scalar.txt" "$scratch/etot_simd.txt" |
+    awk 'function abs(x){return x<0?-x:x}
+         NF != 2 {bad=1}
+         {d=abs($1-$2)/(abs($1)>1?abs($1):1);
+          if (d>1e-6) {printf "TotEng mismatch: %s vs %s\n",$1,$2; bad=1}}
+         END{exit bad}' || {
+    echo "simd smoke: scalar vs MLK_SIMD=on total energy diverged" >&2
+    exit 1
+  }
+  "$build_dir/tests/minilmp_tests" --gtest_filter='Simd*'
+  bash "$repo/tests/simd_sanitize.sh" "$repo"
+  echo "simd smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else

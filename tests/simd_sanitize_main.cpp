@@ -1,0 +1,96 @@
+// Standalone sanitizer exercise for the header-only kk::simd pack layer
+// (ctest `simd_sanitize`, run_tier1.sh --simd). Compiled by
+// simd_sanitize.sh with -fsanitize=address,undefined directly against
+// src/kokkos/simd.hpp — no gtest, no engine — so masked loads, gathers,
+// remainder chunks, and the where() blends run under both sanitizers with
+// every lane checked. Exits nonzero on any mismatch; the sanitizers
+// themselves abort on OOB reads or UB.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "kokkos/simd.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "simd_sanitize: FAIL %s\n", what);
+    ++failures;
+  }
+}
+
+template <int W>
+void exercise_width() {
+  using pd = kk::simd<double, W>;
+  using pm = kk::simd_mask<W>;
+
+  // Arithmetic + comparisons + select on every lane.
+  const pd a = pd::iota(1.0), b = pd(2.0);
+  const pd c = (a * b + a) / b - pd(0.5);
+  for (int l = 0; l < W; ++l) {
+    const double s = double(l + 1);
+    check(c[l] == (s * 2.0 + s) / 2.0 - 0.5, "arith lane");
+  }
+  const pm lt = a < pd(double(W));
+  check(lt.count() == W - 1, "compare count");
+  check(kk::select(lt, a, -a)[W - 1] == -double(W), "select blend");
+
+  // Exactly-sized heap buffer: any lane that reads past n trips ASan.
+  const int n = 3 * W + (W > 1 ? W - 1 : 0);  // deliberately ragged
+  std::vector<double> buf(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) buf[std::size_t(i)] = 0.25 * i;
+
+  double sum_scalar = 0.0;
+  for (int i = 0; i < n; ++i) sum_scalar += buf[std::size_t(i)] * 2.0;
+
+  pd acc;
+  const int nfull = n & ~(W - 1);
+  for (int i = 0; i < nfull; i += W) acc += pd::load(buf.data() + i) * 2.0;
+  const int rem = n - nfull;
+  if (rem > 0) {
+    const pm tail = pm::first(rem);
+    // Masked load + masked gather at the buffer edge: inactive lanes must
+    // not dereference past-the-end addresses.
+    const pd t = pd::load_masked(buf.data() + nfull, tail);
+    const pd g = kk::simd<double, W>::gather_masked(
+        tail, [&](int l) { return buf[std::size_t(nfull + l)]; });
+    for (int l = 0; l < rem; ++l)
+      check(t[l] == g[l], "masked load vs gather");
+    kk::where(tail, acc) += t * 2.0;
+  }
+  const double sum_packed = kk::reduce_sum(acc);
+  check(std::abs(sum_packed - sum_scalar) <=
+            1e-12 * (std::abs(sum_scalar) + 1.0),
+        "remainder sum");
+
+  // All-false mask paths: no lane may be evaluated.
+  const pm none(false);
+  check(none.none(), "none mask");
+  const pd guarded = pd::gather_masked(
+      none, [&](int l) { return buf[std::size_t(n + 1000 + l)]; }, 1.5);
+  for (int l = 0; l < W; ++l) check(guarded[l] == 1.5, "all-false fill");
+
+  // Masked reduction and horizontal ops.
+  check(kk::reduce_sum_masked(none, a) == 0.0, "empty masked sum");
+  check(kk::reduce_max(a) == double(W), "reduce_max");
+  (void)kk::sqrt(a);
+  (void)kk::exp(pd(0.0));
+}
+
+}  // namespace
+
+int main() {
+  exercise_width<1>();
+  exercise_width<2>();
+  exercise_width<4>();
+  exercise_width<kk::native_simd_width>();
+  kk::simdstats::reset();
+  kk::simdstats::count_launch("sanitize");
+  check(kk::simdstats::launches().at("sanitize") == 1, "simdstats");
+  if (failures == 0) std::printf("simd_sanitize: OK\n");
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
