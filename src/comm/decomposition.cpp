@@ -1,5 +1,6 @@
 #include "comm/decomposition.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -62,6 +63,88 @@ void subbox_bounds(const ProcGrid& g, int d, double lo, double hi,
   const double span = hi - lo;
   *sublo = lo + span * double(g.coord[d]) / double(g.np[d]);
   *subhi = lo + span * double(g.coord[d] + 1) / double(g.np[d]);
+}
+
+std::vector<double> uniform_cuts(int np, double lo, double hi) {
+  require(np >= 1, "uniform_cuts: np must be >= 1");
+  require(hi > lo, "uniform_cuts: empty interval");
+  // Same arithmetic as subbox_bounds, so sub-boxes of a never-rebalanced run
+  // are bitwise identical to the historical static decomposition.
+  std::vector<double> cuts(std::size_t(np) + 1);
+  const double span = hi - lo;
+  for (int i = 0; i <= np; ++i)
+    cuts[std::size_t(i)] = lo + span * double(i) / double(np);
+  return cuts;
+}
+
+std::vector<double> rcb_cuts(const std::vector<double>& weights, int np,
+                             double lo, double hi, double min_width) {
+  require(np >= 1, "rcb_cuts: np must be >= 1");
+  require(hi > lo, "rcb_cuts: empty interval");
+  if (np == 1) return {lo, hi};
+  require(min_width > 0.0, "rcb_cuts: min_width must be positive");
+  require(min_width * np <= hi - lo,
+          "rcb_cuts: interval cannot fit np slabs of min_width (sub-domain "
+          "would be thinner than the ghost cutoff)");
+
+  const int nb = int(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "rcb_cuts: negative weight");
+    total += w;
+  }
+  if (nb == 0 || total <= 0.0) return uniform_cuts(np, lo, hi);
+
+  // Cumulative weight at bin edges; linear interpolation inside a bin turns
+  // the histogram into a piecewise-linear CDF we can evaluate both ways.
+  const double binw = (hi - lo) / double(nb);
+  std::vector<double> cum(std::size_t(nb) + 1, 0.0);
+  for (int k = 0; k < nb; ++k)
+    cum[std::size_t(k) + 1] = cum[std::size_t(k)] + weights[std::size_t(k)];
+
+  auto position_of = [&](double target) {  // CDF^-1
+    target = std::clamp(target, 0.0, cum[std::size_t(nb)]);
+    int k = int(std::upper_bound(cum.begin(), cum.end(), target) -
+                cum.begin()) -
+            1;
+    k = std::clamp(k, 0, nb - 1);
+    const double wk = weights[std::size_t(k)];
+    const double frac = wk > 0.0 ? (target - cum[std::size_t(k)]) / wk : 0.0;
+    return lo + (double(k) + std::clamp(frac, 0.0, 1.0)) * binw;
+  };
+  auto weight_below = [&](double x) {  // CDF
+    const double b = std::clamp((x - lo) / binw, 0.0, double(nb));
+    const int k = std::min(nb - 1, int(b));
+    return cum[std::size_t(k)] + (b - double(k)) * weights[std::size_t(k)];
+  };
+
+  std::vector<double> cuts(std::size_t(np) + 1);
+  cuts[0] = lo;
+  cuts[std::size_t(np)] = hi;
+  // Recursive bisection over rank slabs [rlo, rhi): split the rank interval
+  // in half (uneven halves for odd counts) and place the cut at the matching
+  // weight quantile of the current window, clamped so every rank on either
+  // side keeps at least min_width.
+  auto bisect = [&](auto&& self, int rlo, int rhi, double wlo,
+                    double whi) -> void {
+    if (rhi - rlo <= 1) return;
+    const int nleft = (rhi - rlo) / 2;
+    const int rmid = rlo + nleft;
+    const double target = wlo + (whi - wlo) * double(nleft) / double(rhi - rlo);
+    const double lo_limit = cuts[std::size_t(rlo)] + min_width * nleft;
+    const double hi_limit = cuts[std::size_t(rhi)] - min_width * (rhi - rmid);
+    const double xcut = std::clamp(position_of(target), lo_limit, hi_limit);
+    cuts[std::size_t(rmid)] = xcut;
+    const double wmid = weight_below(xcut);
+    self(self, rlo, rmid, wlo, wmid);
+    self(self, rmid, rhi, wmid, whi);
+  };
+  bisect(bisect, 0, np, 0.0, total);
+
+  for (int i = 0; i < np; ++i)
+    require(cuts[std::size_t(i)] < cuts[std::size_t(i) + 1],
+            "rcb_cuts: produced non-increasing cuts");
+  return cuts;
 }
 
 }  // namespace mlk

@@ -1,9 +1,17 @@
 // Spatial domain decomposition: factor P ranks into a 3-D processor grid
 // minimizing communication surface (LAMMPS's default brick decomposition),
 // and map each rank to a sub-box plus its 6 face-neighbor ranks.
+//
+// Cut planes along each dimension may be non-uniform: `balance rcb` computes
+// them by recursive coordinate bisection of per-axis atom-density histograms
+// (docs/DECOMPOSITION.md). The cuts stay *rectilinear* — one shared set of
+// planes per dimension — so the 6-swap brick communication pattern (face
+// neighbors only, no diagonal messages) keeps working unchanged; this is the
+// brick-topology subset of LAMMPS's balance command, not the tiled one.
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -31,5 +39,23 @@ int grid_rank(const ProcGrid& g, int ix, int iy, int iz);
 /// Sub-box bounds of this rank along dimension d within [lo, hi).
 void subbox_bounds(const ProcGrid& g, int d, double lo, double hi,
                    double* sublo, double* subhi);
+
+/// The np+1 uniform cut planes over [lo, hi]. uniform_cuts(...)[coord] and
+/// [coord+1] reproduce subbox_bounds bitwise (same arithmetic), so a run
+/// that never rebalances keeps its historical sub-box bounds exactly.
+std::vector<double> uniform_cuts(int np, double lo, double hi);
+
+/// Recursive coordinate bisection of one axis: given per-bin weights
+/// (atom counts) over [lo, hi] split uniformly into weights.size() bins,
+/// place np-1 interior cuts so each of the np slabs carries ~1/np of the
+/// total weight. Splits recurse LAMMPS-RCB style: each level divides the
+/// rank interval in half (uneven halves for odd np) and positions the cut
+/// at the matching weight quantile, interpolating linearly inside a bin.
+/// Every slab is clamped to a width of at least `min_width` (the comm
+/// ghost cutoff — CommBrick::setup rejects thinner sub-domains); with zero
+/// total weight the cuts degrade to uniform. Returns np+1 ascending planes
+/// with front() == lo and back() == hi.
+std::vector<double> rcb_cuts(const std::vector<double>& weights, int np,
+                             double lo, double hi, double min_width);
 
 }  // namespace mlk

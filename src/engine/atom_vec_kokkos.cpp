@@ -1,6 +1,7 @@
 #include "engine/atom_vec_kokkos.hpp"
 
 #include "kokkos/core.hpp"
+#include "util/error.hpp"
 
 namespace mlk {
 
@@ -51,6 +52,46 @@ std::vector<double> AtomVecKokkos::pack_positions_host(
     }
   }
   return buf;
+}
+
+void AtomVecKokkos::reorder_owned(Atom& atom,
+                                  const std::vector<localint>& perm) {
+  require(atom.nghost == 0, "reorder_owned: clear ghosts before sorting");
+  require(perm.size() == std::size_t(atom.nlocal),
+          "reorder_owned: permutation size mismatch");
+  const std::size_t n = perm.size();
+  atom.sync<kk::Host>(X_MASK | V_MASK | F_MASK | TYPE_MASK | TAG_MASK |
+                      Q_MASK);
+  auto x = atom.k_x.h_view;
+  auto v = atom.k_v.h_view;
+  auto f = atom.k_f.h_view;
+  auto type = atom.k_type.h_view;
+  auto tag = atom.k_tag.h_view;
+  auto q = atom.k_q.h_view;
+
+  std::vector<double> dtmp(3 * n);
+  auto gather3 = [&](auto view) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < 3; ++d)
+        dtmp[3 * i + d] = view(std::size_t(perm[i]), d);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < 3; ++d) view(i, d) = dtmp[3 * i + d];
+  };
+  gather3(x);
+  gather3(v);
+  gather3(f);
+
+  std::vector<int> itmp(n);
+  for (std::size_t i = 0; i < n; ++i) itmp[i] = type(std::size_t(perm[i]));
+  for (std::size_t i = 0; i < n; ++i) type(i) = itmp[i];
+  std::vector<tagint> ttmp(n);
+  for (std::size_t i = 0; i < n; ++i) ttmp[i] = tag(std::size_t(perm[i]));
+  for (std::size_t i = 0; i < n; ++i) tag(i) = ttmp[i];
+  for (std::size_t i = 0; i < n; ++i) dtmp[i] = q(std::size_t(perm[i]));
+  for (std::size_t i = 0; i < n; ++i) q(i) = dtmp[i];
+
+  atom.modified<kk::Host>(X_MASK | V_MASK | F_MASK | TYPE_MASK | TAG_MASK |
+                          Q_MASK);
 }
 
 }  // namespace mlk

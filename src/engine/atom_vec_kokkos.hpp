@@ -28,6 +28,14 @@ class AtomVecKokkos {
   static std::vector<double> pack_positions_host(
       const Atom& atom, const std::vector<localint>& sendlist, int dim,
       double shift);
+
+  /// Apply a permutation to the owned rows of every per-atom field:
+  /// new row i takes old row perm[i] for x/v/f/type/tag/q. `perm` must be a
+  /// bijection over [0, nlocal) and ghosts must be cleared (the spatial sort
+  /// runs between exchange and borders, where nghost == 0). All fields are
+  /// synced to host first and marked host-modified after, so both spaces
+  /// stay coherent through the DualView flags.
+  static void reorder_owned(Atom& atom, const std::vector<localint>& perm);
 };
 
 }  // namespace mlk

@@ -1,0 +1,52 @@
+#include "engine/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/decomposition.hpp"
+#include "util/error.hpp"
+
+namespace mlk {
+
+double Balancer::imbalance(const Atom& atom, simmpi::Comm* mpi) {
+  if (mpi == nullptr || mpi->size() <= 1) return 1.0;
+  const double n = double(atom.nlocal);
+  const double nmax = mpi->allreduce_max(n);
+  const double avg = mpi->allreduce_sum(n) / double(mpi->size());
+  return avg > 0.0 ? nmax / avg : 1.0;
+}
+
+bool Balancer::recompute_cuts(const Atom& atom, Domain& domain,
+                              simmpi::Comm* mpi, double min_width) const {
+  if (mpi == nullptr || mpi->size() <= 1) return false;
+  const auto& g = domain.grid();
+
+  // One flat allreduce carries all three axis histograms of the owned-atom
+  // coordinates. Binning is over the *global* box, so every rank derives
+  // identical cuts from the identical summed histogram.
+  const auto x = atom.k_x.h_view;
+  std::vector<double> hist(std::size_t(3 * nbins), 0.0);
+  for (int d = 0; d < 3; ++d) {
+    if (g.np[d] == 1) continue;  // cuts along this axis stay trivial
+    const double lo = domain.boxlo[d];
+    const double inv = double(nbins) / domain.prd(d);
+    for (localint i = 0; i < atom.nlocal; ++i) {
+      const int b = std::clamp(
+          int((x(std::size_t(i), std::size_t(d)) - lo) * inv), 0, nbins - 1);
+      hist[std::size_t(d * nbins + b)] += 1.0;
+    }
+  }
+  hist = mpi->allreduce_sum(hist);
+
+  for (int d = 0; d < 3; ++d) {
+    if (g.np[d] == 1) continue;
+    const std::vector<double> axis(hist.begin() + d * nbins,
+                                   hist.begin() + (d + 1) * nbins);
+    domain.set_cuts(
+        d, rcb_cuts(axis, g.np[d], domain.boxlo[d], domain.boxhi[d],
+                    min_width));
+  }
+  return true;
+}
+
+}  // namespace mlk

@@ -1,0 +1,46 @@
+// Dynamic load balancing over simmpi ranks (`balance rcb <thresh>`,
+// docs/DECOMPOSITION.md): when the measured per-rank atom imbalance
+// (max/avg nlocal) exceeds the threshold at a neighbor rebuild, new
+// rectilinear cut planes are computed by recursive coordinate bisection of
+// per-axis atom-density histograms and the atoms migrate to their new home
+// ranks through the existing exchange path (CommBrick::migrate).
+#pragma once
+
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "engine/atom.hpp"
+#include "engine/domain.hpp"
+#include "util/types.hpp"
+
+namespace mlk {
+
+class Balancer {
+ public:
+  /// Armed by `balance rcb <thresh>`; `balance off` disarms.
+  bool enabled = false;
+  /// Rebalance when max/avg per-rank atom count exceeds this (> 1.0).
+  double thresh = 1.2;
+  /// Histogram resolution per axis for the RCB quantile cuts.
+  int nbins = 512;
+
+  bigint nbalances = 0;
+  /// Most recently measured imbalance ratio (updated every rebuild while a
+  /// communicator is attached; 1.0 in serial). Feeds telemetry and the
+  /// end-of-run breakdown without extra collectives.
+  double last_imbalance = 1.0;
+
+  /// Global max/avg owned-atom ratio across ranks (collective; returns 1.0
+  /// in serial or when no atoms exist).
+  static double imbalance(const Atom& atom, simmpi::Comm* mpi);
+
+  /// Recompute the cut planes from global per-axis histograms of the owned
+  /// atoms and install them in the domain (collective: every rank computes
+  /// identical cuts from the allreduced histograms). `min_width` is the
+  /// minimum slab width per rank (the comm ghost cutoff). Atoms do NOT move;
+  /// call CommBrick::migrate afterwards. No-op (returns false) in serial.
+  bool recompute_cuts(const Atom& atom, Domain& domain, simmpi::Comm* mpi,
+                      double min_width) const;
+};
+
+}  // namespace mlk

@@ -302,6 +302,29 @@ void CommBrick::exchange(Atom& atom, const Domain& domain) {
   atom.modified<kk::Host>(X_MASK | V_MASK | TYPE_MASK | TAG_MASK | Q_MASK);
 }
 
+void CommBrick::migrate(Atom& atom, const Domain& domain) {
+  exchange(atom, domain);  // remaps into the box; serial is done here
+  if (mpi == nullptr) return;
+
+  const auto& g = domain.grid();
+  const int max_passes = g.np[0] + g.np[1] + g.np[2];
+  for (int pass = 0; pass <= max_passes; ++pass) {
+    atom.sync<kk::Host>(X_MASK);
+    const auto x = atom.k_x.h_view;
+    double misplaced = 0.0;
+    for (localint i = 0; i < atom.nlocal; ++i) {
+      const double xi[3] = {x(std::size_t(i), 0), x(std::size_t(i), 1),
+                            x(std::size_t(i), 2)};
+      if (!domain.inside_subbox(xi)) misplaced += 1.0;
+    }
+    if (mpi->allreduce_sum(misplaced) == 0.0) return;
+    require(pass < max_passes,
+            "migrate: atoms failed to reach their home ranks (inconsistent "
+            "cut planes across ranks?)");
+    exchange(atom, domain);
+  }
+}
+
 bigint CommBrick::forward_doubles_per_step() const {
   bigint n = 0;
   for (const auto& sw : swaps_) n += bigint(sw.sendlist.size()) * 3;

@@ -51,6 +51,16 @@ class CommBrick {
   /// Call after integration, before borders, on rebuild steps.
   void exchange(Atom& atom, const Domain& domain);
 
+  /// Exchange to a fixed point: repeat exchange() passes until every owned
+  /// atom sits inside its rank's sub-box globally. One exchange() pass moves
+  /// an atom at most one rank per dimension — enough between neighbor
+  /// rebuilds, but after `balance rcb` moves the cut planes an atom may
+  /// belong several ranks away. Each pass strictly advances every misplaced
+  /// atom toward its home rank, so convergence needs at most sum(np)-3
+  /// passes (the allreduced misplaced count reaches zero sooner in
+  /// practice). Requires nghost == 0, like exchange().
+  void migrate(Atom& atom, const Domain& domain);
+
   // --- statistics (consumed by the perf/network model) ---
   localint nghost() const { return nghost_; }
   bigint forward_doubles_per_step() const;  // payload volume of one fwd pass

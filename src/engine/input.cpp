@@ -62,11 +62,24 @@ void Input::execute(const std::vector<std::string>& words) {
     lattice_.ny = to_int(arg(2));
     lattice_.nz = to_int(arg(3));
     lattice_.jitter = 0.0;
+    lattice_.region = false;
     for (std::size_t i = 4; i < words.size(); ++i) {
       if (words[i] == "jitter") {
         lattice_.jitter = to_double(arg(i + 1));
         lattice_.seed = to_int(arg(i + 2));
         i += 2;
+      } else if (words[i] == "region") {
+        // region xlo xhi ylo yhi zlo zhi — keep only lattice sites inside
+        // this fraction-of-box block (docs/DECOMPOSITION.md). Gives
+        // non-uniform densities (droplet-in-vacuum) for load-balance tests.
+        lattice_.region = true;
+        for (int d = 0; d < 3; ++d) {
+          lattice_.region_lo[d] = to_double(arg(i + 1 + 2 * std::size_t(d)));
+          lattice_.region_hi[d] = to_double(arg(i + 2 + 2 * std::size_t(d)));
+          require(lattice_.region_lo[d] < lattice_.region_hi[d],
+                  "create_atoms region: lo must be < hi");
+        }
+        i += 6;
       } else {
         fatal("create_atoms: unknown keyword '" + words[i] + "'");
       }
@@ -137,8 +150,37 @@ void Input::execute(const std::vector<std::string>& words) {
         sim_.neighbor.delay = to_int(words[i + 1]);
       else if (words[i] == "check")
         sim_.neighbor.check = to_bool(words[i + 1]);
+      else if (words[i] == "canonical")
+        sim_.neighbor.canonical = to_bool(words[i + 1]);
       else
         fatal("neigh_modify: unknown keyword '" + words[i] + "'");
+    }
+  } else if (cmd == "sort") {
+    // sort every <N> | sort off: spatially reorder owned atoms every N
+    // neighbor rebuilds (docs/DECOMPOSITION.md). MLK_SORT=<N> is the
+    // script-free equivalent; off (the default) is the bitwise reference.
+    if (arg(1) == "off") {
+      sim_.sorter.every = 0;
+    } else {
+      require(arg(1) == "every", "sort: expected 'sort every <N>' or "
+              "'sort off'");
+      sim_.sorter.every = to_int(arg(2));
+      require(sim_.sorter.every >= 0, "sort every: N must be >= 0");
+    }
+  } else if (cmd == "balance") {
+    // balance rcb <thresh> | balance off: recursive-coordinate-bisection
+    // rebalancing of the sub-domain cut planes whenever the per-rank atom
+    // imbalance (max/avg nlocal) exceeds thresh at a neighbor rebuild
+    // (docs/DECOMPOSITION.md). Off (static uniform grid) is the reference.
+    if (arg(1) == "off") {
+      sim_.balancer.enabled = false;
+    } else {
+      require(arg(1) == "rcb", "balance: expected 'balance rcb <thresh>' or "
+              "'balance off'");
+      sim_.balancer.enabled = true;
+      sim_.balancer.thresh = to_double(arg(2));
+      require(sim_.balancer.thresh >= 1.0,
+              "balance rcb: threshold must be >= 1.0");
     }
   } else if (cmd == "newton") {
     sim_.newton_override = to_bool(arg(1)) ? 1 : 0;

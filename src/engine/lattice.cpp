@@ -62,24 +62,37 @@ bigint create_lattice(const LatticeSpec& spec, Domain& domain, Atom& atom) {
 
   RanPark jitter_rng(spec.seed);
   bigint tag = 0;
+  const double ncell[3] = {double(spec.nx), double(spec.ny), double(spec.nz)};
   for (int ix = 0; ix < spec.nx; ++ix)
     for (int iy = 0; iy < spec.ny; ++iy)
       for (int iz = 0; iz < spec.nz; ++iz)
         for (const auto& b : basis) {
-          ++tag;
           double x[3] = {(ix + b.x) * spec.a, (iy + b.y) * spec.a,
                          (iz + b.z) * spec.a};
           if (spec.jitter > 0.0) {
             // Draw jitter deterministically for every site on every rank so
-            // decomposed runs generate identical global configurations.
+            // decomposed runs generate identical global configurations. Draw
+            // even for region-excluded sites so the stream stays aligned.
             for (int d = 0; d < 3; ++d)
               x[d] += spec.jitter * spec.a * (2.0 * jitter_rng.uniform() - 1.0);
-            domain.remap(x);
           }
+          if (spec.region) {
+            // Membership from the *nominal* fractional position: global,
+            // jitter-independent, so all ranks agree without communication.
+            const double frac[3] = {(ix + b.x) / ncell[0], (iy + b.y) / ncell[1],
+                                    (iz + b.z) / ncell[2]};
+            bool inside = true;
+            for (int d = 0; d < 3; ++d)
+              if (frac[d] < spec.region_lo[d] || frac[d] >= spec.region_hi[d])
+                inside = false;
+            if (!inside) continue;
+          }
+          ++tag;  // only created sites consume tags: contiguous 1..natoms
+          if (spec.jitter > 0.0) domain.remap(x);
           if (domain.inside_subbox(x))
             atom.add_atom(b.type, tag, x[0], x[1], x[2]);
         }
-  atom.natoms = bigint(spec.nx) * spec.ny * spec.nz * bigint(basis.size());
+  atom.natoms = tag;
   return atom.nlocal;
 }
 

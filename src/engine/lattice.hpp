@@ -21,6 +21,18 @@ struct LatticeSpec {
   int nx = 1, ny = 1, nz = 1; // unit-cell repetitions
   double jitter = 0.0;        // random displacement amplitude (fraction of a)
   int seed = 12345;           // jitter RNG seed
+
+  // Optional fraction-of-box region filter: only lattice sites whose nominal
+  // (unjittered) position falls inside [region_lo, region_hi) — expressed as
+  // fractions of the global box — are created. The box still spans the full
+  // nx*ny*nz cells, so the rest is vacuum: the non-uniform-density droplet
+  // workload of the load-balancing tests (docs/DECOMPOSITION.md). Tags stay
+  // contiguous (1..natoms) so create_velocities' tag-ordered global RNG walk
+  // keeps working; the region test uses nominal positions so every rank
+  // agrees on membership without communication.
+  bool region = false;
+  double region_lo[3] = {0.0, 0.0, 0.0};
+  double region_hi[3] = {1.0, 1.0, 1.0};
 };
 
 /// Number of basis atoms per unit cell for a lattice style.

@@ -69,9 +69,44 @@ void Neighbor::build(const Atom& atom, const Domain& domain) {
     nk.ghost_rows = ghost_rows;
     nk.build_into(list, atom, domain);
     ++nbuilds;
+    if (canonical) canonicalize_rows(atom);
     return;
   }
   build_host(atom, domain);
+  if (canonical) canonicalize_rows(atom);
+}
+
+void Neighbor::canonicalize_rows(const Atom& atom) {
+  // Both build paths emit bitwise-identical tables, so canonicalizing after
+  // either yields the same rows. Sorting is by (tag, x, y, z) of the
+  // neighbor: tags are storage-order invariant, and the coordinates break
+  // ties between distinct periodic images of the same tag (their positions
+  // differ by box lengths). The interior/boundary partition is unaffected —
+  // it lists row indices, not positions within rows.
+  list.k_neighbors.sync<kk::Host>();
+  list.k_numneigh.sync<kk::Host>();
+  auto neigh = list.k_neighbors.h_view;
+  const auto num = list.k_numneigh.h_view;
+  const auto tag = atom.k_tag.h_view;
+  const auto x = atom.k_x.h_view;
+  const localint nrows = list.inum + list.gnum;
+  std::vector<int> row;
+  for (localint i = 0; i < nrows; ++i) {
+    const int nn = num(std::size_t(i));
+    row.assign(nn, 0);
+    for (int jj = 0; jj < nn; ++jj)
+      row[std::size_t(jj)] = neigh(std::size_t(i), std::size_t(jj));
+    std::sort(row.begin(), row.end(), [&](int a, int b) {
+      const std::size_t ja = std::size_t(a), jb = std::size_t(b);
+      if (tag(ja) != tag(jb)) return tag(ja) < tag(jb);
+      if (x(ja, 0) != x(jb, 0)) return x(ja, 0) < x(jb, 0);
+      if (x(ja, 1) != x(jb, 1)) return x(ja, 1) < x(jb, 1);
+      return x(ja, 2) < x(jb, 2);
+    });
+    for (int jj = 0; jj < nn; ++jj)
+      neigh(std::size_t(i), std::size_t(jj)) = row[std::size_t(jj)];
+  }
+  list.k_neighbors.modify<kk::Host>();
 }
 
 void Neighbor::build_host(const Atom& atom, const Domain& domain) {

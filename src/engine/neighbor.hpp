@@ -135,6 +135,17 @@ class Neighbor {
   /// incomplete; callers must only consume rows within that margin.
   bool ghost_rows = false;
 
+  /// Canonical row ordering (`neigh_modify canonical yes`,
+  /// docs/DECOMPOSITION.md): after every build, sort each row's entries by
+  /// the neighbor's global tag (position as the tie-break between periodic
+  /// images of the same tag). Row *contents* are unchanged — only the
+  /// traversal order becomes independent of atom storage order, which makes
+  /// per-row force accumulation (full list, newton off) bitwise invariant
+  /// under spatial sorting, migration, and rebalancing. Off by default: the
+  /// storage order the builders produce is itself deterministic and is the
+  /// historical bitwise reference.
+  bool canonical = false;
+
   double cutghost() const { return cutoff + skin; }
 
   /// (Re)build the list for the current atom/ghost configuration, routed
@@ -173,6 +184,7 @@ class Neighbor {
   bigint last_build = 0;    // timestep of the last build
  private:
   void build_host(const Atom& atom, const Domain& domain);
+  void canonicalize_rows(const Atom& atom);
 
   std::vector<double> xhold_;  // positions at last build (3*nlocal)
   std::unique_ptr<NeighborKokkos> device_builder_;

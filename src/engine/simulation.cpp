@@ -19,6 +19,9 @@ Simulation::Simulation() {
   fault.arm_from_env();
   if (const char* s = std::getenv("MLK_OVERLAP"))
     overlap_enabled = std::atoi(s) != 0;
+  // MLK_SORT=<N> mirrors `sort every <N>` (0 = off), so CI smokes can turn
+  // the spatial sort on without editing scripts.
+  if (const char* s = std::getenv("MLK_SORT")) sorter.every = std::atoi(s);
   // MLK_NEIGH=host|device mirrors the `neighbor style` input command, so CI
   // smokes can flip the build path without editing scripts.
   if (const char* s = std::getenv("MLK_NEIGH")) {
@@ -93,7 +96,35 @@ void Simulation::rebuild_neighbors() {
   kk::profiling::ScopedRegion region("Verlet::neighbor");
   ScopedTimer t(timers, "Neigh");
   atom.clear_ghosts();
-  comm.exchange(atom, domain);
+
+  // Load balancing happens at rebuilds, where ghosts are already dropped and
+  // migration piggybacks on the exchange path. Rebuilds are a global
+  // decision, so the collectives below run on every rank in lockstep; the
+  // allreduced ratio makes the rebalance trigger identical everywhere.
+  bool migrated = false;
+  balancer.last_imbalance = Balancer::imbalance(atom, mpi);
+  if (balancer.enabled) {
+    kk::profiling::count_event("balance.imbalance_ratio",
+                               balancer.last_imbalance);
+    if (balancer.last_imbalance > balancer.thresh &&
+        balancer.recompute_cuts(atom, domain, mpi,
+                                /*min_width=*/comm.cutghost * 1.01)) {
+      comm.setup(domain);  // validate the new cuts against the ghost cutoff
+      comm.migrate(atom, domain);
+      ++balancer.nbalances;
+      migrated = true;
+    }
+  }
+  if (!migrated) comm.exchange(atom, domain);
+
+  // Spatial sort between exchange and borders: ghosts are gone, so only the
+  // owned rows permute; the list and partition below are built fresh from
+  // the new order. Setup's rebuild must not advance the cadence: resuming
+  // from a checkpoint replays setup() (as does the writer's own next run),
+  // and an extra count here would shift every later sort off the schedule
+  // the uninterrupted run follows, breaking bitwise-transparent restarts.
+  if (setup_done) sorter.maybe_sort(atom, domain, neighbor.cutghost());
+
   comm.borders(atom, domain);
   neighbor.build(atom, domain);
   neighbor.store_build_positions(atom);
@@ -421,6 +452,8 @@ void Verlet::publish_telemetry(const Phase& p) {
                           : 0;
   s.rebuild = p.rebuild ? 1 : 0;
   s.overlap = p.overlap ? 1 : 0;
+  s.nlocal = sim.atom.nlocal;
+  s.imbalance = float(sim.balancer.last_imbalance);
   t.steps.push(s);
 
   t.prev_wall_s = wall;
@@ -459,8 +492,24 @@ void Verlet::finish() {
   neigh.dangerous = sim.neighbor.ndanger - ndanger_before_;
   neigh.retries = sim.neighbor.nretries() - nretries_before_;
   neigh.device = sim.neighbor.build_path == NeighBuildPath::Device;
+
+  // Collective per-rank atom extremes for the imbalance summary line; must
+  // run on every rank before breakdown()'s rank-0 print gate.
+  BalanceSummary balance;
+  const double nlocal = double(sim.atom.nlocal);
+  if (sim.mpi != nullptr) {
+    balance.max_atoms = sim.mpi->allreduce_max(nlocal);
+    balance.min_atoms = sim.mpi->allreduce_min(nlocal);
+    balance.avg_atoms =
+        sim.mpi->allreduce_sum(nlocal) / double(sim.mpi->size());
+  } else {
+    balance.max_atoms = balance.min_atoms = balance.avg_atoms = nlocal;
+  }
+  balance.nbalances = sim.balancer.nbalances;
+  balance.nsorts = sim.sorter.nsorts;
+
   sim.thermo.breakdown(sim, loop_timer_.seconds(), nsteps_, timers_before_,
-                       neigh);
+                       neigh, balance);
 }
 
 void Verlet::run(bigint nsteps) {

@@ -9,6 +9,8 @@
 
 #include "comm/simmpi.hpp"
 #include "engine/atom.hpp"
+#include "engine/atom_sort.hpp"
+#include "engine/balance.hpp"
 #include "engine/comm_pair.hpp"
 #include "engine/compute.hpp"
 #include "engine/domain.hpp"
@@ -48,6 +50,11 @@ class Simulation {
   Domain domain;
   Neighbor neighbor;
   CommBrick comm;
+  /// Spatial reorder of owned atoms every N rebuilds (`sort every <N>` /
+  /// MLK_SORT; docs/DECOMPOSITION.md).
+  AtomSorter sorter;
+  /// RCB rebalancing of the sub-domain cuts (`balance rcb <thresh>`).
+  Balancer balancer;
   std::unique_ptr<Pair> pair;
   std::vector<std::unique_ptr<Fix>> fixes;
   Thermo thermo;

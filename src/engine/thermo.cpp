@@ -44,7 +44,8 @@ void Thermo::record(Simulation& sim) {
 
 void Thermo::breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
                        const std::map<std::string, double>& before,
-                       const NeighSummary& neigh) const {
+                       const NeighSummary& neigh,
+                       const BalanceSummary& balance) const {
   const bool is_rank0 = sim.mpi == nullptr || sim.mpi->rank() == 0;
   if (!print || !is_rank0 || nsteps <= 0) return;
 
@@ -86,6 +87,20 @@ void Thermo::breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
     std::printf("  device retries: %lld",
                 static_cast<long long>(neigh.retries));
   std::printf("\n");
+
+  // Per-rank atom imbalance (max/avg nlocal at run end): the load-balance
+  // health metric `balance rcb` targets. Only meaningful with > 1 rank, but
+  // the rebalance/sort counters print whenever those features ran.
+  if (balance.avg_atoms > 0.0 &&
+      (sim.mpi != nullptr || balance.nbalances > 0 || balance.nsorts > 0)) {
+    std::printf(
+        "Atom imbalance: %.3f max/avg (max %.0f min %.0f avg %.1f)  "
+        "rebalances: %lld  sorts: %lld\n",
+        balance.max_atoms / balance.avg_atoms, balance.max_atoms,
+        balance.min_atoms, balance.avg_atoms,
+        static_cast<long long>(balance.nbalances),
+        static_cast<long long>(balance.nsorts));
+  }
 }
 
 }  // namespace mlk

@@ -31,6 +31,17 @@ struct NeighSummary {
   bool device = false;   // built via the device path (retries meaningful)
 };
 
+/// End-of-run load-balance summary (docs/DECOMPOSITION.md). The per-rank
+/// atom extremes are collective, so Verlet::finish gathers them on every
+/// rank *before* breakdown()'s rank-0 print gate.
+struct BalanceSummary {
+  double max_atoms = 0.0;  // max per-rank nlocal at run end
+  double min_atoms = 0.0;
+  double avg_atoms = 0.0;
+  bigint nbalances = 0;    // RCB rebalances during the run
+  bigint nsorts = 0;       // spatial sorts during the run
+};
+
 class Thermo {
  public:
   bigint every = 100;   // output interval (0 = only first/last)
@@ -47,7 +58,8 @@ class Thermo {
   /// only this run's accumulation is reported.
   void breakdown(Simulation& sim, double loop_seconds, bigint nsteps,
                  const std::map<std::string, double>& before,
-                 const NeighSummary& neigh = {}) const;
+                 const NeighSummary& neigh = {},
+                 const BalanceSummary& balance = {}) const;
 
   const std::vector<ThermoRow>& rows() const { return rows_; }
   void clear() { rows_.clear(); }

@@ -31,7 +31,11 @@
 namespace mlk::io {
 
 inline constexpr char kMagic[8] = {'M', 'L', 'K', 'R', 'S', 'T', 'R', 'T'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: per-dim RCB cut planes, sorter cadence/counters, balancer settings,
+// and the canonical neighbor-order flag (docs/DECOMPOSITION.md). Readers
+// accept v1 files (those fields keep their defaults: uniform cuts, sort and
+// balance off).
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::uint32_t kEndianTag = 0x01020304u;
 
 struct RestartHeader {

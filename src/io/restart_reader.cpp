@@ -13,9 +13,10 @@ namespace mlk::io {
 
 namespace {
 
-/// Load + validate one rank file; returns the payload ready for parsing.
+/// Load + validate one rank file; returns the payload ready for parsing and
+/// reports the file's format version so the caller can gate newer sections.
 BinaryReader load_payload(const std::string& path, int nranks_expected,
-                          int rank_expected) {
+                          int rank_expected, std::uint32_t& version_out) {
   std::ifstream in(path, std::ios::binary);
   require(in.good(), "read_restart: cannot open '" + path + "'");
 
@@ -50,6 +51,7 @@ BinaryReader load_payload(const std::string& path, int nranks_expected,
   require(crc32(payload.data(), payload.size()) == h.payload_crc,
           "read_restart: '" + path + "' payload CRC mismatch (torn or "
           "corrupt checkpoint)");
+  version_out = h.version;
   return BinaryReader(std::move(payload));
 }
 
@@ -58,8 +60,9 @@ BinaryReader load_payload(const std::string& path, int nranks_expected,
 void RestartReader::read(Simulation& sim, const std::string& base) {
   const int rank = sim.mpi ? sim.mpi->rank() : 0;
   const int nranks = sim.mpi ? sim.mpi->size() : 1;
-  BinaryReader r =
-      load_payload(restart_file_name(base, rank, nranks), nranks, rank);
+  std::uint32_t version = 0;
+  BinaryReader r = load_payload(restart_file_name(base, rank, nranks), nranks,
+                                rank, version);
 
   // --- run state (set_units resets dt/skin defaults, so restore them after)
   const bigint ntimestep = r.get<bigint>();
@@ -83,6 +86,23 @@ void RestartReader::read(Simulation& sim, const std::string& base) {
   for (int d = 0; d < 3; ++d)
     sim.domain.periodic[d] = r.get<std::uint8_t>() != 0;
   if (sim.mpi) sim.domain.decompose(sim.mpi->rank(), sim.mpi->size());
+
+  // --- v2: decomposition + sort/balance state. decompose() above reset the
+  // cut planes to the uniform grid; restore the writer's (possibly RCB)
+  // cuts after it so the resumed run owns exactly the atoms it wrote.
+  if (version >= 2) {
+    for (int d = 0; d < 3; ++d) sim.domain.set_cuts(d, r.get_vector<double>());
+    sim.neighbor.canonical = r.get<std::uint8_t>() != 0;
+    sim.sorter.every = int(r.get<std::int32_t>());
+    sim.sorter.builds_since_sort = int(r.get<std::int32_t>());
+    sim.sorter.path = r.get<std::uint8_t>() == 0 ? AtomSorter::Path::Scalar
+                                                 : AtomSorter::Path::Binned;
+    sim.sorter.nsorts = r.get<bigint>();
+    sim.balancer.enabled = r.get<std::uint8_t>() != 0;
+    sim.balancer.thresh = r.get<double>();
+    sim.balancer.nbins = int(r.get<std::int32_t>());
+    sim.balancer.nbalances = r.get<bigint>();
+  }
 
   // --- atoms ---
   Atom& a = sim.atom;

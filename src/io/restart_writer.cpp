@@ -35,6 +35,22 @@ void RestartWriter::write(Simulation& sim, const std::string& base) {
   for (int d = 0; d < 3; ++d) w.put(sim.domain.boxhi[d]);
   for (int d = 0; d < 3; ++d) w.put(std::uint8_t(sim.domain.periodic[d]));
 
+  // --- v2: decomposition + sort/balance state (docs/DECOMPOSITION.md).
+  // The RCB cut planes are part of the trajectory: a resume that silently
+  // reset them to the uniform grid would migrate atoms at the first rebuild
+  // and diverge from the writer. Likewise the sorter's rebuild counter — a
+  // pending sort must fire on the same rebuild after resume.
+  for (int d = 0; d < 3; ++d) w.put_vector(sim.domain.cuts(d));
+  w.put(std::uint8_t(sim.neighbor.canonical ? 1 : 0));
+  w.put(std::int32_t(sim.sorter.every));
+  w.put(std::int32_t(sim.sorter.builds_since_sort));
+  w.put(std::uint8_t(sim.sorter.path == AtomSorter::Path::Scalar ? 0 : 1));
+  w.put(sim.sorter.nsorts);
+  w.put(std::uint8_t(sim.balancer.enabled ? 1 : 0));
+  w.put(sim.balancer.thresh);
+  w.put(std::int32_t(sim.balancer.nbins));
+  w.put(sim.balancer.nbalances);
+
   // --- atoms (owned only; ghosts are rebuilt from scratch on resume) ---
   Atom& a = sim.atom;
   a.sync<kk::Host>(X_MASK | V_MASK | TYPE_MASK | TAG_MASK | Q_MASK);

@@ -17,6 +17,11 @@ namespace mlk::perf {
 struct PotentialStats {
   // Common.
   double neighbors_per_atom = 0;  // full-list rows within force cutoff
+  // Per-rank atom imbalance (max/avg nlocal) of the decomposed workload.
+  // 1.0 for the uniform-density benchmark crystals the measure_* functions
+  // run; bench_fig6's droplet sweep overrides it with the value measured
+  // from the real engine under simmpi (docs/DECOMPOSITION.md).
+  double imbalance = 1.0;
 
   // ReaxFF.
   double bonds_per_atom = 0;

@@ -9,14 +9,16 @@ ScalingPoint MachineModel::step_time(
     bigint global_atoms, int nodes,
     const std::function<std::vector<KernelWorkload>(bigint)>& gpu_workloads,
     double density, double ghost_cut, double bytes_per_ghost,
-    double extra_halo_rounds, double allreduces) const {
+    double extra_halo_rounds, double allreduces, double imbalance) const {
   ScalingPoint out;
   out.nodes = nodes;
   const double ngpus = double(nodes) * machine_.gpus_per_node;
   const double n_local = double(global_atoms) / ngpus;
   out.atoms_per_gpu = n_local;
 
-  out.t_gpu = gpu_.total_seconds(gpu_workloads(bigint(std::max(n_local, 1.0))));
+  // Critical path: the most-loaded rank holds imbalance x the average atoms.
+  out.t_gpu = std::max(imbalance, 1.0) *
+              gpu_.total_seconds(gpu_workloads(bigint(std::max(n_local, 1.0))));
 
   // Halo: ghost shell of thickness ghost_cut around a cubic sub-domain.
   const double sub_vol = n_local / density;

@@ -39,11 +39,17 @@ class MachineModel {
   /// `extra_halo_rounds`: additional per-step ghost exchanges beyond the
   /// position forward (ReaxFF: one per QEq CG iteration, 8 bytes/ghost).
   /// `allreduces`: global reductions per step (ReaxFF: 2 per CG iteration).
+  /// `imbalance`: per-rank atom imbalance (max/avg nlocal) of the
+  /// decomposition — the step completes when the most-loaded rank does, so
+  /// the GPU term scales by it. 1.0 = uniform density (the melt); droplet
+  /// workloads on a static grid measure 2-4x (docs/DECOMPOSITION.md), which
+  /// `balance rcb` drives back toward 1.
   ScalingPoint step_time(
       bigint global_atoms, int nodes,
       const std::function<std::vector<KernelWorkload>(bigint)>& gpu_workloads,
       double density, double ghost_cut, double bytes_per_ghost = 48.0,
-      double extra_halo_rounds = 0.0, double allreduces = 1.0) const;
+      double extra_halo_rounds = 0.0, double allreduces = 1.0,
+      double imbalance = 1.0) const;
 
   const Machine& machine() const { return machine_; }
   const GpuModel& gpu() const { return gpu_; }

@@ -298,7 +298,9 @@ void Hub::drain_sim(SimTelemetry& st, SinkSimState& state) {
                 ",\"launches\":" + std::to_string(step.launches) +
                 ",\"device_launches\":" + std::to_string(step.device_launches) +
                 ",\"rebuild\":" + std::to_string(int(step.rebuild)) +
-                ",\"overlap\":" + std::to_string(int(step.overlap)) + "}");
+                ",\"overlap\":" + std::to_string(int(step.overlap)) +
+                ",\"nlocal\":" + std::to_string(step.nlocal) +
+                ",\"imbalance\":" + json::num(step.imbalance) + "}");
   }
   ThermoSample th;
   while (st.thermo.pop(th)) {
@@ -392,7 +394,9 @@ void Hub::write_snapshot() {
                      ",\"pair_ms\":" + json::num(s.pair_ms) +
                      ",\"neigh_ms\":" + json::num(s.neigh_ms) +
                      ",\"comm_ms\":" + json::num(s.comm_ms) +
-                     ",\"launches\":" + std::to_string(s.launches) + "}";
+                     ",\"launches\":" + std::to_string(s.launches) +
+                     ",\"nlocal\":" + std::to_string(s.nlocal) +
+                     ",\"imbalance\":" + json::num(s.imbalance) + "}";
       }
       if (state && state->have_thermo) {
         const ThermoSample& t = state->last_thermo;

@@ -56,6 +56,8 @@ struct StepSample {
   std::uint32_t device_launches = 0;  // ... of which device-space
   std::uint8_t rebuild = 0;           // neighbor list rebuilt this step
   std::uint8_t overlap = 0;           // force phase took the overlapped path
+  std::int32_t nlocal = 0;            // owned atoms on this rank
+  float imbalance = 1.0f;  // max/avg per-rank nlocal at the last rebuild
 };
 
 /// One recorded thermo row (T / PE / KE / pressure).

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Balance smoke (ctest `balance_smoke`, run_tier1.sh --balance): run the
+# droplet example (vacuum-gap lattice, docs/DECOMPOSITION.md) with tracing
+# on, then check the decomposition observables end to end:
+#
+#   * the end-of-run breakdown prints the per-rank atom imbalance line
+#     (max/avg ratio plus rebalance and sort counts);
+#   * spatial sorts actually fired (`sort every 5` against the pinned
+#     rebuild schedule);
+#   * the chrome trace carries the balance.imbalance_ratio counter track
+#     emitted at every neighbor rebuild while `balance rcb` is armed.
+#
+# Usage: balance_smoke.sh <run_script> <validate_trace> <in.droplet>
+set -euo pipefail
+
+run_script="$1"
+validate_trace="$2"
+droplet_in="$3"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+(cd "$scratch" &&
+ MLK_TRACE="$scratch/droplet.trace.json" \
+   "$run_script" "$droplet_in") > "$scratch/droplet.out"
+
+fail() { echo "balance smoke: $*" >&2; exit 1; }
+
+grep -q 'Atom imbalance:' "$scratch/droplet.out" ||
+  fail "breakdown is missing the atom-imbalance line"
+imb_line="$(grep 'Atom imbalance:' "$scratch/droplet.out")"
+
+sorts="$(sed -n 's/.*sorts: \([0-9][0-9]*\).*/\1/p' "$scratch/droplet.out")"
+[[ -n "$sorts" ]] || fail "imbalance line carries no sort count"
+(( sorts >= 1 )) || fail "no spatial sorts fired (sort every 5 armed)"
+
+"$validate_trace" --require-counters \
+  --require-counter=balance.imbalance_ratio \
+  "$scratch/droplet.trace.json"
+
+echo "balance smoke: $imb_line"
+echo "balance smoke: OK"

@@ -24,6 +24,12 @@
 #                                 # (total energy compared per the tolerance
 #                                 # policy), the Simd* suites, and the
 #                                 # sanitized pack-layer build
+#   tests/run_tier1.sh --balance  # decomposition smoke: droplet example with
+#                                 # sort + balance rcb armed (imbalance
+#                                 # breakdown + counter track), then the
+#                                 # decomposition/migration property suites,
+#                                 # the bitwise sort/balance sweep, and the
+#                                 # balance restart round-trip
 #
 # Extra arguments after the flags are passed to cmake's configure step.
 set -euo pipefail
@@ -38,6 +44,7 @@ neigh_device_smoke=0
 server_smoke=0
 telemetry_smoke=0
 simd_smoke=0
+balance_smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -72,6 +79,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --simd)
       simd_smoke=1
+      shift
+      ;;
+    --balance)
+      balance_smoke=1
       shift
       ;;
     *)
@@ -174,6 +185,18 @@ elif [[ "$simd_smoke" == 1 ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter='Simd*'
   bash "$repo/tests/simd_sanitize.sh" "$repo"
   echo "simd smoke: OK"
+elif [[ "$balance_smoke" == 1 ]]; then
+  # Decomposition smoke (tests/balance_smoke.sh): the droplet example with
+  # `sort every 5` + `balance rcb 1.2` armed — end-of-run imbalance
+  # breakdown line and the balance.imbalance_ratio counter track — then the
+  # randomized decomposition/migration property suites, the bitwise
+  # sort x balance x build-path sweep, and the balance-state restart
+  # round-trip (docs/DECOMPOSITION.md).
+  bash "$repo/tests/balance_smoke.sh" \
+    "$build_dir/examples/run_script" "$build_dir/tests/validate_trace" \
+    "$repo/examples/in.droplet"
+  "$build_dir/tests/minilmp_tests" --gtest_filter='RcbCuts*:UniformCuts*:DomainCuts*:Migrate*:AtomSort*:Balancer*:SortBalanceSweep*:RestartBalance*'
+  echo "balance smoke: OK"
 elif [[ -n "$gtest_filter" ]]; then
   "$build_dir/tests/minilmp_tests" --gtest_filter="$gtest_filter"
 else

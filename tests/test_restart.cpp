@@ -447,6 +447,118 @@ TEST(RestartMultiRank, RankCountMismatchRejected) {
   }
 }
 
+// ------------------------------------- balance/sort state (format v2)
+
+/// The droplet workload (examples/in.droplet): fcc only in the lower-corner
+/// [0, 0.55)^3 of the box, vacuum elsewhere — maximally imbalanced on a
+/// static grid, so `balance rcb` fires and installs non-uniform cuts early.
+/// `sort every 3` against rebuilds every 10 leaves a nonzero pending
+/// builds_since_sort at the step-100 checkpoint.
+void droplet_script(Simulation& sim, Input& in) {
+  sim.thermo.print = false;
+  in.line("units lj");
+  in.line("lattice fcc 0.8442");
+  in.line("create_atoms 6 6 6 jitter 0.05 78123 region 0 0.55 0 0.55 0 0.55");
+  in.line("mass 1 1.0");
+  in.line("velocity all create 1.44 87287");
+  in.line("pair_style lj/cut 2.5");
+  in.line("pair_coeff * * 1.0 1.0");
+  in.line("neighbor 0.3 bin");
+  in.line("neigh_modify every 10 check no");
+  in.line("sort every 3");
+  in.line("balance rcb 1.1");
+  in.line("fix 1 all nve");
+  in.line("thermo 10");
+}
+
+TEST(RestartBalance, DropletCutsAndPendingSortRoundTripBitwise) {
+  ScratchDir dir("balance");
+  init_all();
+  const int P = 2;
+  std::mutex mu;
+
+  std::map<tagint, AtomState> straight_atoms;
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      Input in(sim);
+      droplet_script(sim, in);
+      in.line("run 200");
+      auto mine = snapshot(sim);
+      std::lock_guard<std::mutex> lk(mu);
+      straight_atoms.merge(mine);
+    });
+  }
+
+  std::vector<double> writer_cuts[3];
+  bool writer_cuts_nonuniform = false;
+  int writer_builds_since_sort = -1;
+  bigint writer_nsorts = -1, writer_nbalances = -1;
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      Input in(sim);
+      droplet_script(sim, in);
+      in.line("restart 100 " + dir.file("ckpt"));
+      in.line("run 100");
+      std::lock_guard<std::mutex> lk(mu);
+      if (comm.rank() == 0) {
+        for (int d = 0; d < 3; ++d) {
+          writer_cuts[d] = sim.domain.cuts(d);
+          const auto u =
+              uniform_cuts(int(writer_cuts[d].size()) - 1, sim.domain.boxlo[d],
+                           sim.domain.boxhi[d]);
+          if (writer_cuts[d] != u) writer_cuts_nonuniform = true;
+        }
+        writer_builds_since_sort = sim.sorter.builds_since_sort;
+        writer_nsorts = sim.sorter.nsorts;
+        writer_nbalances = sim.balancer.nbalances;
+      }
+    });
+  }
+  // The checkpoint captured a genuinely non-trivial mid-run state: the
+  // droplet forced at least one rebalance (non-uniform cuts installed) and
+  // the sort cadence is mid-phase.
+  ASSERT_GT(writer_nbalances, 0);
+  ASSERT_GT(writer_nsorts, 0);
+  ASSERT_TRUE(writer_cuts_nonuniform);
+  ASSERT_GT(writer_builds_since_sort, 0);
+
+  std::map<tagint, AtomState> resumed_atoms;
+  {
+    simmpi::World world(P);
+    world.run([&](simmpi::Comm& comm) {
+      Simulation sim;
+      sim.mpi = &comm;
+      sim.thermo.print = false;
+      Input in(sim);
+      in.line("read_restart " + dir.file("ckpt.100"));
+      {
+        // Format-v2 payload restored verbatim on every rank.
+        std::lock_guard<std::mutex> lk(mu);
+        for (int d = 0; d < 3; ++d)
+          EXPECT_EQ(sim.domain.cuts(d), writer_cuts[d]) << "dim " << d;
+        EXPECT_EQ(sim.sorter.builds_since_sort, writer_builds_since_sort);
+        EXPECT_EQ(sim.sorter.nsorts, writer_nsorts);
+        EXPECT_EQ(sim.sorter.every, 3);
+        EXPECT_TRUE(sim.balancer.enabled);
+        EXPECT_EQ(sim.balancer.thresh, 1.1);
+        EXPECT_EQ(sim.balancer.nbalances, writer_nbalances);
+      }
+      in.line("run 100");
+      auto mine = snapshot(sim);
+      std::lock_guard<std::mutex> lk(mu);
+      resumed_atoms.merge(mine);
+    });
+  }
+
+  expect_identical(straight_atoms, resumed_atoms);
+}
+
 // ------------------------------------------------- fault injection/recovery
 
 TEST(FaultRecovery, InjectedCrashRecoversFromLastCheckpoint) {
